@@ -1,0 +1,44 @@
+package distlap_test
+
+// One benchmark per experiment table (DESIGN.md §3): each BenchmarkE<k>
+// re-runs the corresponding experiment's measurement loop (quick sweeps) so
+// `go test -bench=.` regenerates every series' workload. The printed
+// tables themselves come from `go run ./cmd/experiments`.
+
+import (
+	"testing"
+
+	"distlap/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1_CongestedVsDecomposition(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2_LayeredSimulation(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3_LayeredTreewidth(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4_MinorDensityBlowup(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5_LayeredShortcutQuality(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6_TreewidthCongestedPWA(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7_GeneralCongestedPWA(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8_NCCCongestedPWA(b *testing.B)            { benchExperiment(b, "E8") }
+func BenchmarkE9a_SolverAccuracyScaling(b *testing.B)     { benchExperiment(b, "E9a") }
+func BenchmarkE9b_UniversalVsExistential(b *testing.B)    { benchExperiment(b, "E9b") }
+func BenchmarkE10_HybridSolver(b *testing.B)              { benchExperiment(b, "E10") }
+func BenchmarkE11_SpanningConnectedSubgraph(b *testing.B) { benchExperiment(b, "E11") }
+
+func BenchmarkE12_AnyToAnyCast(b *testing.B) { benchExperiment(b, "E12") }
+
+func BenchmarkE13_ApproxMaxFlow(b *testing.B) { benchExperiment(b, "E13") }
+
+func BenchmarkE14_LowStretchTrees(b *testing.B) { benchExperiment(b, "E14") }

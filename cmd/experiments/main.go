@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper-claim tables E1–E14 (see
+// DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                # run every experiment, full sweeps
+//	experiments -run E5,E9b    # run selected experiments
+//	experiments -quick         # reduced sweeps (what the benchmarks use)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distlap/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := fs.Bool("quick", false, "reduced parameter sweeps")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	ids := experiments.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

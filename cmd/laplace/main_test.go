@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratedFamilies(t *testing.T) {
+	for _, family := range []string{"path", "grid", "expander"} {
+		if err := run([]string{"-family", family, "-n", "36", "-eps", "1e-3"}); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+	}
+}
+
+func TestRunWithCheck(t *testing.T) {
+	if err := run([]string{"-family", "grid", "-n", "16", "-eps", "1e-6", "-check"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSaveThenLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-family", "grid", "-n", "25", "-eps", "1e-3", "-save", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", path, "-eps", "1e-3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-family", "nope"}); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+	if err := run([]string{"-family", "grid", "-n", "16", "-mode", "warp"}); err == nil {
+		t.Fatal("want unknown-mode error")
+	}
+	if err := run([]string{"-load", "/does/not/exist"}); err == nil {
+		t.Fatal("want load error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

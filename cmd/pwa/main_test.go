@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-family", "grid", "-n", "36", "-p", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneCongestedIncludesShortcutSolver(t *testing.T) {
+	if err := run([]string{"-family", "path", "-n", "20", "-p", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-family", "nope"}); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

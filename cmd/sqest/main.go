@@ -1,0 +1,82 @@
+// Command sqest sweeps graph families and prints the empirical shortcut-
+// quality bracket [D̃, Q̂] (DESIGN.md §1) together with the layered-graph
+// ratio of Theorem 22.
+//
+// Usage:
+//
+//	sqest -n 64,144,256 -p 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"distlap/internal/graph"
+	"distlap/internal/layered"
+	"distlap/internal/shortcut"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sqest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sqest", flag.ContinueOnError)
+	sizes := fs.String("n", "64,144", "comma-separated approximate node counts")
+	p := fs.Int("p", 2, "layering parameter for the Theorem 22 ratio (0 disables)")
+	seed := fs.Int64("seed", 1, "rng seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ns []int
+	for _, tok := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", tok, err)
+		}
+		ns = append(ns, v)
+	}
+	fmt.Printf("%-10s %6s %6s %6s %8s %8s", "family", "n", "D̃", "Q̂", "worst", "Q̂/D̃")
+	if *p > 0 {
+		fmt.Printf(" %10s %8s", fmt.Sprintf("Q̂(Ĝ_%d)", *p), "ratio")
+	}
+	fmt.Println()
+	for _, f := range graph.StandardFamilies() {
+		for _, n := range ns {
+			g := f.Make(n)
+			est, err := shortcut.EstimateSQ(g, *seed)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", f.Name, n, err)
+			}
+			fmt.Printf("%-10s %6d %6d %6d %8s %8.2f",
+				f.Name, g.N(), est.Lower, est.Upper, est.WorstName,
+				ratio(est.Upper, est.Lower))
+			if *p > 0 {
+				lay, err := layered.New(g, *p)
+				if err != nil {
+					return err
+				}
+				estL, err := shortcut.EstimateSQ(lay.G, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Printf(" %10d %8.2f", estL.Upper, ratio(estL.Upper, est.Upper))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmallSweep(t *testing.T) {
+	if err := run([]string{"-n", "36", "-p", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoLayering(t *testing.T) {
+	if err := run([]string{"-n", "25", "-p", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	if err := run([]string{"-n", "abc"}); err == nil {
+		t.Fatal("want size error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package distlap is the public facade of the distributed Laplacian solver
+// library, a from-scratch reproduction of "Almost Universally Optimal
+// Distributed Laplacian Solvers via Low-Congestion Shortcuts"
+// (Anagnostides ⓡ Lenzen ⓡ Haeupler ⓡ Zuzic ⓡ Gouleakis, DISC 2022).
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - graph construction (NewGraph, generators via Families),
+//   - the measured communication models (Mode values) and the one-call
+//     distributed solver (Solve),
+//   - the congested part-wise aggregation primitive (AggregateParts), the
+//     paper's central contribution, and
+//   - the shortcut-quality estimator (EstimateShortcutQuality).
+//
+// Everything is implemented on a deterministic CONGEST / NCC / HYBRID
+// simulator that physically moves O(log n)-bit messages and measures
+// synchronous rounds; see DESIGN.md for the architecture and
+// EXPERIMENTS.md for the paper-claim reproduction tables.
+package distlap
+
+import (
+	"distlap/internal/apps"
+	"distlap/internal/congest"
+	"distlap/internal/core"
+	"distlap/internal/graph"
+	"distlap/internal/linalg"
+	"distlap/internal/partwise"
+	"distlap/internal/shortcut"
+)
+
+// Graph is a weighted undirected multigraph with dense integer node IDs.
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Families returns the named standard graph generators (path, grid,
+// widegrid, tree, expander), each parameterized by an approximate size.
+func Families() []graph.Family { return graph.StandardFamilies() }
+
+// Mode selects the communication model a solve runs in.
+type Mode = core.Mode
+
+// Communication models (see Theorems 2 and 3 of the paper).
+const (
+	// ModeUniversal is Supported-CONGEST with shortcut-style aggregation —
+	// the almost universally optimal configuration.
+	ModeUniversal = core.ModeUniversal
+	// ModeCongest is standard CONGEST (construction costs charged).
+	ModeCongest = core.ModeCongest
+	// ModeBaseline aggregates everything over one global BFS tree — the
+	// existentially optimal (√n + D style) baseline.
+	ModeBaseline = core.ModeBaseline
+	// ModeHybrid augments CONGEST with the node-capacitated clique.
+	ModeHybrid = core.ModeHybrid
+)
+
+// Result reports a distributed Laplacian solve: the solution, iteration
+// count, achieved residual and the measured communication rounds.
+type Result = core.Result
+
+// Solve solves the Laplacian system L_g x = b to relative residual eps in
+// the given communication model and reports the measured round complexity.
+// b must sum to (approximately) zero; the solution is mean-centered.
+func Solve(g *Graph, b []float64, mode Mode, eps float64, seed int64) (*Result, error) {
+	res, _, err := core.SolveOnGraph(g, b, mode, eps, seed)
+	return res, err
+}
+
+// ExactSolve solves L_g x = b directly (dense elimination; ground truth
+// for small systems).
+func ExactSolve(g *Graph, b []float64) ([]float64, error) {
+	return linalg.NewLaplacian(g).SolveExact(b)
+}
+
+// RelativeLError returns ‖x − xStar‖_L / ‖xStar‖_L, the paper's accuracy
+// metric.
+func RelativeLError(g *Graph, x, xStar []float64) float64 {
+	return linalg.NewLaplacian(g).RelativeLError(x, xStar)
+}
+
+// PartwiseInstance is a (possibly congested) part-wise aggregation
+// instance: parts with per-member values (Definitions 4 and 13).
+type PartwiseInstance = partwise.Instance
+
+// AggSpec names an aggregation function with its identity element.
+type AggSpec = partwise.AggSpec
+
+// Standard aggregation specs.
+var (
+	AggSum = partwise.Sum
+	AggMin = partwise.Min
+	AggMax = partwise.Max
+	AggAnd = partwise.And
+	AggOr  = partwise.Or
+)
+
+// AggregateParts solves a p-congested part-wise aggregation instance on g
+// in Supported-CONGEST via the paper's layered-graph reduction and returns
+// the per-part aggregates together with the measured round count.
+func AggregateParts(g *Graph, inst *PartwiseInstance, spec AggSpec, seed int64) ([]int64, int, error) {
+	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+	out, err := partwise.NewLayeredSolver(seed).Solve(nw, inst, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := make([]int64, len(out))
+	for i, w := range out {
+		words[i] = int64(w)
+	}
+	return words, nw.Rounds(), nil
+}
+
+// ShortcutQuality is the empirical shortcut-quality bracket [Lower, Upper]
+// of a graph (Definition 7, bracketed as described in DESIGN.md).
+type ShortcutQuality = shortcut.QualityEstimate
+
+// EstimateShortcutQuality brackets SQ(g) over the adversarial partition
+// suite.
+func EstimateShortcutQuality(g *Graph, seed int64) (ShortcutQuality, error) {
+	return shortcut.EstimateSQ(g, seed)
+}
+
+// MSTResult reports a distributed minimum-spanning-tree computation.
+type MSTResult = apps.MSTResult
+
+// MinimumSpanningTree computes an MST distributedly with Borůvka phases
+// over part-wise aggregation in Supported-CONGEST, returning the measured
+// round count in the result.
+func MinimumSpanningTree(g *Graph, seed int64) (*MSTResult, error) {
+	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+	return apps.MST(nw, partwise.NewShortcutSolver())
+}
+
+// ElectricalFlow reports an s-t unit electrical flow (potentials, currents,
+// effective resistance) computed through the distributed solver.
+type ElectricalFlow = apps.FlowResult
+
+// Flow computes the unit s-t electrical flow on g in the given model.
+func Flow(g *Graph, s, t int, mode Mode, seed int64) (*ElectricalFlow, error) {
+	el := &apps.Electrical{G: g, Mode: mode, Seed: seed}
+	return el.Flow(s, t)
+}
+
+// EffectiveResistance returns the s-t effective resistance of g.
+func EffectiveResistance(g *Graph, s, t int, mode Mode, seed int64) (float64, error) {
+	el := &apps.Electrical{G: g, Mode: mode, Seed: seed}
+	return el.EffectiveResistance(s, t)
+}
+
+// SolveSDD solves the symmetric diagonally-dominant system
+// (L_g + diag(extra)) x = b via the grounded-Laplacian reduction — the
+// standard extension of the Laplacian paradigm to SDD matrices (heat
+// diffusion, regularized regression, PageRank-style systems). extra must
+// be nonnegative integers with at least one positive entry; b may have
+// any sum.
+func SolveSDD(g *Graph, extra []int64, b []float64, mode Mode, eps float64, seed int64) (*Result, error) {
+	return core.SolveSDD(g, extra, b, mode, eps, seed)
+}
+
+// MaxFlow approximates the s-t maximum flow via electrical-flow
+// multiplicative weights (the §5 application: every MWU iteration is one
+// distributed Laplacian solve), returning the approximate value, the exact
+// Edmonds–Karp reference, and the total measured rounds.
+func MaxFlow(g *Graph, s, t int, eps float64, mode Mode, seed int64) (*apps.ApproxFlowResult, error) {
+	a := &apps.ApproxMaxFlow{Mode: mode, Epsilon: eps, Seed: seed}
+	return a.Run(g, s, t)
+}
+
+// SolveChebyshev solves L_g x = b by distributed Chebyshev iteration — the
+// alternative iteration with no per-iteration global reductions (one
+// residual check every few iterations), which wins on high-diameter
+// topologies. Pass lo = hi = 0 for safe automatic spectral bounds.
+func SolveChebyshev(g *Graph, b []float64, mode Mode, eps, lo, hi float64, seed int64) (*Result, error) {
+	c, err := core.NewComm(g, mode, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveChebyshev(c, b, core.ChebyshevOptions{Tol: eps, Lo: lo, Hi: hi})
+}
+
+// SpectralPartition approximates the Fiedler vector by inverse power
+// iteration (one distributed Laplacian solve per step) and returns the
+// sign-cut bipartition with its measured rounds — spectral clustering
+// through the solver.
+func SpectralPartition(g *Graph, mode Mode, seed int64) (*apps.SpectralResult, error) {
+	sp := &apps.SpectralPartitioner{Mode: mode, Seed: seed}
+	return sp.Partition(g)
+}

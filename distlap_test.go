@@ -1,0 +1,161 @@
+package distlap_test
+
+import (
+	"math"
+	"testing"
+
+	"distlap"
+)
+
+func TestFacadeSolveRoundtrip(t *testing.T) {
+	var g *distlap.Graph
+	for _, f := range distlap.Families() {
+		if f.Name == "grid" {
+			g = f.Make(64)
+		}
+	}
+	if g == nil {
+		t.Fatal("grid family missing")
+	}
+	b := make([]float64, g.N())
+	b[0], b[g.N()-1] = 1, -1
+	res, err := distlap.Solve(g, b, distlap.ModeUniversal, 1e-8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xStar, err := distlap.ExactSolve(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := distlap.RelativeLError(g, res.X, xStar); e > 1e-5 {
+		t.Fatalf("L-error %g", e)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds measured")
+	}
+}
+
+func TestFacadeModesAgree(t *testing.T) {
+	g := distlap.NewGraph(3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 1)
+	b := []float64{1, 0, -1}
+	var solutions [][]float64
+	for _, mode := range []distlap.Mode{
+		distlap.ModeUniversal, distlap.ModeCongest, distlap.ModeBaseline, distlap.ModeHybrid,
+	} {
+		res, err := distlap.Solve(g, b, mode, 1e-10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		solutions = append(solutions, res.X)
+	}
+	for i := 1; i < len(solutions); i++ {
+		for j := range solutions[0] {
+			if math.Abs(solutions[i][j]-solutions[0][j]) > 1e-6 {
+				t.Fatalf("mode %d disagrees at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestFacadeAggregateParts(t *testing.T) {
+	g := distlap.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	inst := &distlap.PartwiseInstance{
+		Parts:  [][]int{{0, 1, 2}, {1, 2, 3}},
+		Values: [][]int64{{5, 2, 9}, {1, 7, 3}},
+	}
+	out, rounds, err := distlap.AggregateParts(g, inst, distlap.AggMin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 1 {
+		t.Fatalf("out=%v", out)
+	}
+	if rounds <= 0 {
+		t.Fatal("no rounds charged for a congested instance")
+	}
+}
+
+func TestFacadeShortcutQuality(t *testing.T) {
+	var g *distlap.Graph
+	for _, f := range distlap.Families() {
+		if f.Name == "expander" {
+			g = f.Make(64)
+		}
+	}
+	est, err := distlap.EstimateShortcutQuality(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Lower > est.Upper || est.Upper <= 0 {
+		t.Fatalf("bracket [%d, %d]", est.Lower, est.Upper)
+	}
+}
+
+func TestFacadeMST(t *testing.T) {
+	g := distlap.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(2, 3, 3)
+	g.MustAddEdge(0, 3, 10)
+	res, err := distlap.MinimumSpanningTree(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 6 || len(res.Edges) != 3 {
+		t.Fatalf("mst weight=%d edges=%d", res.Weight, len(res.Edges))
+	}
+}
+
+func TestFacadeFlowAndResistance(t *testing.T) {
+	g := distlap.NewGraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	r, err := distlap.EffectiveResistance(g, 0, 2, distlap.ModeUniversal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-5 {
+		t.Fatalf("R_eff=%v, want 2", r)
+	}
+	flow, err := distlap.Flow(g, 0, 2, distlap.ModeUniversal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.EdgeCurrent) != 2 {
+		t.Fatal("missing currents")
+	}
+}
+
+func TestFacadeSolveSDD(t *testing.T) {
+	g := distlap.NewGraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	res, err := distlap.SolveSDD(g, []int64{1, 0, 1}, []float64{1, 0, 1}, distlap.ModeUniversal, 1e-9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric system: x0 == x2.
+	if math.Abs(res.X[0]-res.X[2]) > 1e-6 {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func TestFacadeMaxFlow(t *testing.T) {
+	g := distlap.NewGraph(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 3, 2)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(2, 3, 3)
+	res, err := distlap.MaxFlow(g, 0, 3, 0.1, distlap.ModeUniversal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 || res.ExactValue != 5 {
+		t.Fatalf("flow=%d exact=%d", res.Value, res.ExactValue)
+	}
+}

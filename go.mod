@@ -1,0 +1,3 @@
+module distlap
+
+go 1.22

@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distlap/internal/core"
+	"distlap/internal/graph"
+)
+
+func TestMaxFlowExactPath(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 7)
+	res, err := MaxFlowExact(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Fatalf("flow=%d, want 3 (bottleneck)", res.Value)
+	}
+	if CutValue(g, res.CutS) != 3 {
+		t.Fatalf("cut value %d != flow", CutValue(g, res.CutS))
+	}
+}
+
+func TestMaxFlowExactParallelPaths(t *testing.T) {
+	// Two disjoint s-t paths of capacity 2 and 3.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 3, 2)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(2, 3, 3)
+	res, err := MaxFlowExact(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 5 {
+		t.Fatalf("flow=%d, want 5", res.Value)
+	}
+}
+
+func TestMaxFlowExactBarbell(t *testing.T) {
+	g := graph.Barbell(4, 0) // single bridge of weight 1
+	res, err := MaxFlowExact(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Fatalf("flow=%d, want 1", res.Value)
+	}
+	if len(res.CutS) != 4 {
+		t.Fatalf("cut side=%v", res.CutS)
+	}
+}
+
+func TestMaxFlowExactErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := MaxFlowExact(g, 0, 0); err == nil {
+		t.Fatal("want s==t error")
+	}
+	if _, err := MaxFlowExact(g, 0, 9); err == nil {
+		t.Fatal("want range error")
+	}
+	// Disconnected: flow 0, cut = s's component.
+	dg := graph.New(4)
+	dg.MustAddEdge(0, 1, 1)
+	dg.MustAddEdge(2, 3, 1)
+	res, err := MaxFlowExact(dg, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 || len(res.CutS) != 2 {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestSweepCutRecoversBottleneck(t *testing.T) {
+	// On the barbell the electrical potentials split cleanly at the
+	// bridge: the sweep cut must find the exact min cut.
+	g := graph.Barbell(5, 1)
+	res, err := SweepCutFromPotentials(g, 0, g.N()-1, core.ModeUniversal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != res.Exact {
+		t.Fatalf("sweep cut %d vs exact %d", res.Value, res.Exact)
+	}
+	if res.Ratio != 1 {
+		t.Fatalf("ratio=%v", res.Ratio)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds charged")
+	}
+	if CutValue(g, res.Side) != res.Value {
+		t.Fatal("reported side inconsistent with value")
+	}
+}
+
+func TestSweepCutOnGrid(t *testing.T) {
+	g := graph.Grid(4, 8)
+	res, err := SweepCutFromPotentials(g, 0, g.N()-1, core.ModeUniversal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep cuts are a rounding heuristic: demand a modest approximation.
+	if res.Ratio < 1 && res.Exact > 0 {
+		t.Fatalf("ratio below 1: %v (cut smaller than max flow is impossible)", res.Ratio)
+	}
+	if res.Ratio > 2.0 {
+		t.Fatalf("sweep cut ratio %v too large on a grid", res.Ratio)
+	}
+}
+
+// Property: exact max flow equals exact min cut (duality) and the sweep
+// cut never beats it.
+func TestFlowCutDualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.RandomConnected(14, 10, 6, seed)
+		res, err := MaxFlowExact(g, 0, 13)
+		if err != nil {
+			return false
+		}
+		if CutValue(g, res.CutS) != res.Value {
+			return false
+		}
+		sweep, err := SweepCutFromPotentials(g, 0, 13, core.ModeUniversal, seed)
+		if err != nil {
+			return false
+		}
+		return sweep.Value >= res.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package apps implements the downstream applications the paper motivates:
+// a universally-optimal MST via Borůvka-over-part-wise-aggregation (the
+// classic client of the shortcut framework, §1 and Definition 4), the
+// spanning-connected-subgraph problem and its reduction from Laplacian
+// solving (Theorems 1 and 29), and electrical-flow / effective-resistance
+// computations on top of the core solver.
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+	"distlap/internal/partwise"
+)
+
+// MSTResult reports a distributed MST computation.
+type MSTResult struct {
+	Edges  []graph.EdgeID
+	Weight int64
+	Phases int
+	Rounds int
+}
+
+// ErrDisconnected is returned when the input graph is not connected.
+var ErrDisconnected = errors.New("apps: graph disconnected")
+
+// encodeEdge packs (weight, edgeID) into one word so that min-aggregation
+// selects the lightest edge with deterministic ID tie-breaking. Weights are
+// poly(n) by assumption (§2), so 31 bits of ID space suffice for the graphs
+// the simulator handles.
+func encodeEdge(w int64, id graph.EdgeID) congest.Word {
+	return congest.Word(w)<<31 | congest.Word(id)
+}
+
+func decodeEdge(x congest.Word) graph.EdgeID {
+	return graph.EdgeID(x & ((1 << 31) - 1))
+}
+
+// noEdge is the min-identity for encoded edges.
+const noEdge = congest.Word(1) << 62
+
+// MST computes a minimum spanning tree with Borůvka phases, each phase one
+// part-wise aggregation (fragments = parts, min outgoing encoded edge) plus
+// one neighbor exchange in which every node learns its neighbors' fragment
+// IDs. With the shortcut solver this is the universally-optimal MST of the
+// low-congestion-shortcut literature; with NaiveGlobalSolver it is the
+// √n + D-style baseline.
+func MST(nw *congest.Network, solver partwise.Solver) (*MSTResult, error) {
+	g := nw.Graph()
+	n := g.N()
+	if n == 0 {
+		return &MSTResult{}, nil
+	}
+	fragOf := make([]int, n)
+	for v := range fragOf {
+		fragOf[v] = v
+	}
+	uf := graph.NewUnionFind(n)
+	chosen := make(map[graph.EdgeID]bool)
+	res := &MSTResult{}
+
+	for phase := 0; uf.Count() > 1; phase++ {
+		if phase > 2*log2(n)+4 {
+			return nil, ErrDisconnected
+		}
+		res.Phases++
+		// Every node learns each neighbor's fragment (one exchange round).
+		nbrFrag := make([]map[graph.EdgeID]int, n)
+		for v := range nbrFrag {
+			nbrFrag[v] = make(map[graph.EdgeID]int, g.Degree(v))
+		}
+		nw.Exchange(
+			func(v graph.NodeID, h graph.Half) (congest.Word, bool) {
+				return congest.Word(fragOf[v]), true
+			},
+			func(v graph.NodeID, h graph.Half, w congest.Word) {
+				nbrFrag[v][h.Edge] = int(w)
+			},
+		)
+		// Fragments as parts; each node contributes its min outgoing edge.
+		frags := make(map[int][]graph.NodeID)
+		for v := 0; v < n; v++ {
+			frags[fragOf[v]] = append(frags[fragOf[v]], v)
+		}
+		inst := &partwise.Instance{}
+		for id := 0; id < n; id++ {
+			if part, ok := frags[id]; ok {
+				vals := make([]congest.Word, len(part))
+				for i, v := range part {
+					best := noEdge
+					for _, h := range g.Neighbors(v) {
+						if nbrFrag[v][h.Edge] == fragOf[v] {
+							continue
+						}
+						if enc := encodeEdge(g.Edge(h.Edge).Weight, h.Edge); enc < best {
+							best = enc
+						}
+					}
+					vals[i] = best
+				}
+				inst.Parts = append(inst.Parts, part)
+				inst.Values = append(inst.Values, vals)
+			}
+		}
+		spec := partwise.AggSpec{Name: "minedge", Fn: congest.AggMin, Identity: noEdge}
+		mins, err := solver.Solve(nw, inst, spec)
+		if err != nil {
+			return nil, fmt.Errorf("apps: mst phase %d: %w", phase, err)
+		}
+		merged := false
+		for i := range mins {
+			if mins[i] == noEdge {
+				continue // fragment with no outgoing edge: done or disconnected
+			}
+			id := decodeEdge(mins[i])
+			e := g.Edge(id)
+			if uf.Union(e.U, e.V) {
+				chosen[id] = true
+				merged = true
+			}
+		}
+		if !merged {
+			break
+		}
+		for v := 0; v < n; v++ {
+			fragOf[v] = uf.Find(v)
+		}
+		// Fragment relabeling is itself a part-wise aggregation over the
+		// merged fragments (every member learns the fragment's min node
+		// ID); run it so the cost is charged, and use its output as the
+		// label to keep the execution honest.
+		newFrags := make(map[int][]graph.NodeID)
+		for v := 0; v < n; v++ {
+			newFrags[fragOf[v]] = append(newFrags[fragOf[v]], v)
+		}
+		relabel := &partwise.Instance{}
+		var order [][]graph.NodeID
+		for id := 0; id < n; id++ {
+			if part, ok := newFrags[id]; ok {
+				vals := make([]congest.Word, len(part))
+				for i, v := range part {
+					vals[i] = congest.Word(v)
+				}
+				relabel.Parts = append(relabel.Parts, part)
+				relabel.Values = append(relabel.Values, vals)
+				order = append(order, part)
+			}
+		}
+		labels, err := solver.Solve(nw, relabel, partwise.Min)
+		if err != nil {
+			return nil, fmt.Errorf("apps: mst relabel phase %d: %w", phase, err)
+		}
+		for i, part := range order {
+			for _, v := range part {
+				fragOf[v] = int(labels[i])
+			}
+		}
+	}
+	if uf.Count() > 1 {
+		return nil, ErrDisconnected
+	}
+	for id := range chosen {
+		res.Edges = append(res.Edges, id)
+		res.Weight += g.Edge(id).Weight
+	}
+	res.Rounds = nw.Rounds()
+	return res, nil
+}
+
+func log2(n int) int {
+	k := 0
+	for p := 1; p < n; p *= 2 {
+		k++
+	}
+	return k
+}

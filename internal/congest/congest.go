@@ -1,0 +1,225 @@
+// Package congest implements a deterministic simulator for the synchronous
+// CONGEST model of distributed computing (paper §2): in every round, each
+// node may exchange one O(log n)-bit message with each of its neighbors.
+//
+// The simulator is the measurement instrument for every experiment in this
+// repository: algorithms are expressed in terms of a small set of
+// communication primitives (per-round neighbor exchange, store-and-forward
+// packet routing along explicit paths, and concurrent convergecast/broadcast
+// over collections of trees). Each primitive physically moves data and
+// charges the exact number of synchronous rounds the data movement takes
+// under the one-message-per-edge-direction-per-round bandwidth constraint,
+// so round counts are measured rather than estimated.
+//
+// Supported-CONGEST (the known-topology model, [46] in the paper) is the
+// same engine with the Supported flag set: algorithms may then precompute
+// topology-dependent structures (e.g. shortcuts) at zero round cost, exactly
+// as the model permits.
+package congest
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"distlap/internal/graph"
+)
+
+// Word is the payload of a single CONGEST message: an O(log n)-bit value.
+// Algorithms that need richer payloads serialize them into words and pay
+// one round per word per edge.
+type Word = int64
+
+// Metrics accumulates the communication cost of everything executed on a
+// Network since its creation (or the last Reset).
+type Metrics struct {
+	Rounds      int   // synchronous rounds elapsed
+	Messages    int64 // total word-messages delivered
+	MaxEdgeLoad int   // max words carried by any single directed edge
+}
+
+// Options configure a Network.
+type Options struct {
+	// Supported marks the network as Supported-CONGEST: the topology is
+	// common knowledge and algorithms may precompute structures from it
+	// for free. The flag does not change the engine's behaviour; higher
+	// layers consult it when deciding what to charge rounds for.
+	Supported bool
+
+	// Seed drives all randomized scheduling decisions (random delays).
+	Seed int64
+
+	// DisableRandomDelays turns off the random initial delays used by the
+	// tree-aggregation scheduler (the Ghaffari'15-style scheduling
+	// ablation; see DESIGN.md §4).
+	DisableRandomDelays bool
+}
+
+// Network is a CONGEST communication network over a fixed graph.
+// It is not safe for concurrent use.
+type Network struct {
+	g       *graph.Graph
+	opts    Options
+	rng     *rand.Rand
+	metrics Metrics
+	load    []int64 // per directed edge: total words carried
+}
+
+// ErrNoTrees is returned by tree primitives invoked with no work.
+var ErrNoTrees = errors.New("congest: no trees given")
+
+// NewNetwork returns a network over g with the given options.
+func NewNetwork(g *graph.Graph, opts Options) *Network {
+	return &Network{
+		g:    g,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		load: make([]int64, 2*g.M()),
+	}
+}
+
+// Graph returns the underlying communication graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Supported reports whether the network is in Supported-CONGEST mode.
+func (nw *Network) Supported() bool { return nw.opts.Supported }
+
+// Metrics returns the communication cost accumulated so far.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// Rounds returns the number of rounds elapsed so far.
+func (nw *Network) Rounds() int { return nw.metrics.Rounds }
+
+// Reset zeroes the accumulated metrics (the topology is unchanged).
+func (nw *Network) Reset() {
+	nw.metrics = Metrics{}
+	for i := range nw.load {
+		nw.load[i] = 0
+	}
+}
+
+// ChargeRounds adds r idle rounds (used for purely local computation phases
+// that the model still charges, e.g. simulation overheads; see Lemma 16).
+func (nw *Network) ChargeRounds(r int) {
+	if r > 0 {
+		nw.metrics.Rounds += r
+	}
+}
+
+// dirEdge encodes a directed use of an undirected edge: 2*edge for U->V and
+// 2*edge+1 for V->U.
+func (nw *Network) dirEdge(id graph.EdgeID, from graph.NodeID) int {
+	if nw.g.Edge(id).U == from {
+		return 2 * id
+	}
+	return 2*id + 1
+}
+
+// chargeEdge records one word crossing a directed edge.
+func (nw *Network) chargeEdge(de int) {
+	nw.metrics.Messages++
+	nw.load[de]++
+	if l := int(nw.load[de]); l > nw.metrics.MaxEdgeLoad {
+		nw.metrics.MaxEdgeLoad = l
+	}
+}
+
+// Exchange executes one synchronous round in which every node may send one
+// word along each incident half-edge. send is queried once per (node,
+// half-edge); returning ok=false sends nothing on that half-edge. recv is
+// then invoked for every delivered word at its destination. Costs exactly
+// one round.
+func (nw *Network) Exchange(
+	send func(v graph.NodeID, h graph.Half) (Word, bool),
+	recv func(v graph.NodeID, h graph.Half, w Word),
+) {
+	type delivery struct {
+		to   graph.NodeID
+		half graph.Half // the receiving side's half-edge
+		w    Word
+	}
+	var deliveries []delivery
+	for v := 0; v < nw.g.N(); v++ {
+		for _, h := range nw.g.Neighbors(v) {
+			w, ok := send(v, h)
+			if !ok {
+				continue
+			}
+			nw.chargeEdge(nw.dirEdge(h.Edge, v))
+			deliveries = append(deliveries, delivery{
+				to:   h.To,
+				half: graph.Half{To: v, Edge: h.Edge},
+				w:    w,
+			})
+		}
+	}
+	nw.metrics.Rounds++
+	for _, d := range deliveries {
+		recv(d.to, d.half, d.w)
+	}
+}
+
+// ExchangeK runs k consecutive Exchange rounds with the same handlers.
+func (nw *Network) ExchangeK(k int,
+	send func(round int, v graph.NodeID, h graph.Half) (Word, bool),
+	recv func(round int, v graph.NodeID, h graph.Half, w Word),
+) {
+	for r := 0; r < k; r++ {
+		rr := r
+		nw.Exchange(
+			func(v graph.NodeID, h graph.Half) (Word, bool) { return send(rr, v, h) },
+			func(v graph.NodeID, h graph.Half, w Word) { recv(rr, v, h, w) },
+		)
+	}
+}
+
+// BFS computes hop distances from root with an actual distributed flooding
+// execution (each node learns its distance in the round it is reached);
+// it charges ecc(root)+1 rounds. The returned structure matches graph.BFS.
+// This grounds the cost model: distributed BFS costs O(D) rounds.
+func (nw *Network) BFS(root graph.NodeID) *graph.BFSResult {
+	n := nw.g.N()
+	res := &graph.BFSResult{
+		Root:       root,
+		Dist:       make([]int, n),
+		Parent:     make([]graph.NodeID, n),
+		ParentEdge: make([]graph.EdgeID, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+		res.ParentEdge[i] = -1
+	}
+	res.Dist[root] = 0
+	res.Order = append(res.Order, root)
+	frontier := map[graph.NodeID]bool{root: true}
+	for len(frontier) > 0 {
+		next := make(map[graph.NodeID]bool)
+		var reached []graph.NodeID
+		nw.Exchange(
+			func(v graph.NodeID, h graph.Half) (Word, bool) {
+				if frontier[v] {
+					return Word(res.Dist[v]), true
+				}
+				return 0, false
+			},
+			func(v graph.NodeID, h graph.Half, w Word) {
+				if res.Dist[v] == -1 {
+					res.Dist[v] = int(w) + 1
+					res.Parent[v] = h.To
+					res.ParentEdge[v] = h.Edge
+					next[v] = true
+					reached = append(reached, v)
+				}
+			},
+		)
+		// Deterministic order: reached was appended in node-scan order of
+		// the sending side; sort by node ID for stability.
+		sortNodeIDs(reached)
+		res.Order = append(res.Order, reached...)
+		frontier = next
+	}
+	return res
+}
+
+func sortNodeIDs(a []graph.NodeID) { sort.Ints(a) }

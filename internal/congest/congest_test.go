@@ -1,0 +1,432 @@
+package congest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distlap/internal/graph"
+)
+
+func newNet(g *graph.Graph) *Network {
+	return NewNetwork(g, Options{Seed: 1})
+}
+
+func TestExchangeCostsOneRound(t *testing.T) {
+	g := graph.Path(4)
+	nw := newNet(g)
+	got := make(map[graph.NodeID]Word)
+	nw.Exchange(
+		func(v graph.NodeID, h graph.Half) (Word, bool) { return Word(v * 10), true },
+		func(v graph.NodeID, h graph.Half, w Word) { got[v] += w },
+	)
+	if nw.Rounds() != 1 {
+		t.Fatalf("rounds=%d, want 1", nw.Rounds())
+	}
+	// Node 1 hears from 0 and 2: 0 + 20.
+	if got[1] != 20 {
+		t.Fatalf("node 1 received %d, want 20", got[1])
+	}
+	// 2*m messages: each of 3 edges in both directions.
+	if nw.Metrics().Messages != 6 {
+		t.Fatalf("messages=%d, want 6", nw.Metrics().Messages)
+	}
+}
+
+func TestExchangeSelective(t *testing.T) {
+	g := graph.Star(5)
+	nw := newNet(g)
+	count := 0
+	nw.Exchange(
+		func(v graph.NodeID, h graph.Half) (Word, bool) { return 7, v == 0 },
+		func(v graph.NodeID, h graph.Half, w Word) { count++ },
+	)
+	if count != 4 {
+		t.Fatalf("deliveries=%d, want 4 (center only)", count)
+	}
+	if nw.Metrics().Messages != 4 {
+		t.Fatalf("messages=%d", nw.Metrics().Messages)
+	}
+}
+
+func TestExchangeK(t *testing.T) {
+	g := graph.Path(3)
+	nw := newNet(g)
+	rounds := map[int]bool{}
+	nw.ExchangeK(3,
+		func(r int, v graph.NodeID, h graph.Half) (Word, bool) { return Word(r), true },
+		func(r int, v graph.NodeID, h graph.Half, w Word) {
+			rounds[r] = true
+			if w != Word(r) {
+				t.Errorf("round %d got word %d", r, w)
+			}
+		},
+	)
+	if nw.Rounds() != 3 || len(rounds) != 3 {
+		t.Fatalf("rounds=%d seen=%d", nw.Rounds(), len(rounds))
+	}
+}
+
+func TestDistributedBFSCostsEccentricity(t *testing.T) {
+	g := graph.Grid(4, 5)
+	nw := newNet(g)
+	res := nw.BFS(0)
+	ref := graph.BFS(g, 0)
+	for v := range ref.Dist {
+		if res.Dist[v] != ref.Dist[v] {
+			t.Fatalf("dist[%d]=%d, want %d", v, res.Dist[v], ref.Dist[v])
+		}
+	}
+	// BFS floods one extra round past the last frontier.
+	ecc := 7 // (4-1)+(5-1)
+	if nw.Rounds() < ecc || nw.Rounds() > ecc+1 {
+		t.Fatalf("rounds=%d, want ~%d", nw.Rounds(), ecc)
+	}
+}
+
+func TestChargeRoundsAndReset(t *testing.T) {
+	nw := newNet(graph.Path(2))
+	nw.ChargeRounds(10)
+	nw.ChargeRounds(-5) // ignored
+	if nw.Rounds() != 10 {
+		t.Fatalf("rounds=%d", nw.Rounds())
+	}
+	nw.Reset()
+	if nw.Rounds() != 0 || nw.Metrics().Messages != 0 {
+		t.Fatal("reset did not clear metrics")
+	}
+}
+
+func TestConvergecastSingleTreeSum(t *testing.T) {
+	g := graph.Path(8)
+	nw := newNet(g)
+	tr := graph.BFSTree(g, 0)
+	out, err := nw.ConvergecastMany([]*graph.Tree{tr},
+		func(_ int, v graph.NodeID) Word { return Word(v) }, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 28 { // 0+...+7
+		t.Fatalf("sum=%d, want 28", out[0])
+	}
+	// A path convergecast takes exactly height rounds.
+	if nw.Rounds() != 7 {
+		t.Fatalf("rounds=%d, want 7", nw.Rounds())
+	}
+}
+
+func TestConvergecastSingletonTreeIsFree(t *testing.T) {
+	g := graph.Path(3)
+	nw := newNet(g)
+	tr := graph.BFSTreeOfSubgraph(g, []graph.NodeID{1}, nil, 1)
+	out, err := nw.ConvergecastMany([]*graph.Tree{tr},
+		func(_ int, v graph.NodeID) Word { return 42 }, AggMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 42 || nw.Rounds() != 0 {
+		t.Fatalf("out=%d rounds=%d", out[0], nw.Rounds())
+	}
+}
+
+func TestConvergecastManySharedEdgesQueue(t *testing.T) {
+	// k trees all containing the same 2-node path: the shared edge must
+	// serialize, so rounds >= k.
+	g := graph.Path(2)
+	nw := newNet(g)
+	const k = 5
+	trees := make([]*graph.Tree, k)
+	for i := range trees {
+		trees[i] = graph.BFSTree(g, 0)
+	}
+	out, err := nw.ConvergecastMany(trees,
+		func(t int, v graph.NodeID) Word { return Word(t + int(v)) }, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range out {
+		if w != Word(i)+Word(i)+1 {
+			t.Fatalf("tree %d sum=%d", i, w)
+		}
+	}
+	if nw.Rounds() < k {
+		t.Fatalf("rounds=%d; shared edge must serialize %d sends", nw.Rounds(), k)
+	}
+	if nw.Metrics().MaxEdgeLoad != k {
+		t.Fatalf("max edge load=%d, want %d", nw.Metrics().MaxEdgeLoad, k)
+	}
+}
+
+func TestBroadcastMany(t *testing.T) {
+	g := graph.Grid(3, 3)
+	nw := newNet(g)
+	tr := graph.BFSTree(g, 4)
+	seen := make(map[graph.NodeID]Word)
+	err := nw.BroadcastMany([]*graph.Tree{tr}, []Word{99},
+		func(_ int, v graph.NodeID, w Word) { seen[v] = w })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 {
+		t.Fatalf("reached %d nodes", len(seen))
+	}
+	for v, w := range seen {
+		if w != 99 {
+			t.Fatalf("node %d got %d", v, w)
+		}
+	}
+	if nw.Rounds() != tr.Height() {
+		t.Fatalf("rounds=%d, want height %d", nw.Rounds(), tr.Height())
+	}
+}
+
+func TestAggregateManyRoundTrip(t *testing.T) {
+	g := graph.Grid(4, 4)
+	nw := newNet(g)
+	// Two disjoint parts: top two rows and bottom two rows.
+	top := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	bot := []graph.NodeID{8, 9, 10, 11, 12, 13, 14, 15}
+	trees := []*graph.Tree{
+		graph.BFSTreeOfSubgraph(g, top, nil, 0),
+		graph.BFSTreeOfSubgraph(g, bot, nil, 8),
+	}
+	out, err := nw.AggregateMany(trees,
+		func(_ int, v graph.NodeID) Word { return Word(v) }, AggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[1] != 15 {
+		t.Fatalf("out=%v", out)
+	}
+}
+
+func TestBroadcastManyBadArgs(t *testing.T) {
+	nw := newNet(graph.Path(2))
+	if err := nw.BroadcastMany(nil, nil, nil); err == nil {
+		t.Fatal("want error for no trees")
+	}
+	tr := graph.BFSTree(nw.Graph(), 0)
+	if err := nw.BroadcastMany([]*graph.Tree{tr}, nil,
+		func(int, graph.NodeID, Word) {}); err == nil {
+		t.Fatal("want error for mismatched root values")
+	}
+}
+
+func TestRouteManySinglePath(t *testing.T) {
+	g := graph.Path(5)
+	nw := newNet(g)
+	// Edge IDs on a path are 0..3 in order.
+	arr, err := nw.RouteMany([]Packet{{Start: 0, Edges: []graph.EdgeID{0, 1, 2, 3}, Payload: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0] != 4 {
+		t.Fatalf("arrival=%d, want 4", arr[0])
+	}
+	if nw.Rounds() != 4 {
+		t.Fatalf("rounds=%d", nw.Rounds())
+	}
+}
+
+func TestRouteManyCongestionSerializes(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g, Options{Seed: 3, DisableRandomDelays: true})
+	pkts := make([]Packet, 6)
+	for i := range pkts {
+		pkts[i] = Packet{Start: 0, Edges: []graph.EdgeID{0}}
+	}
+	arr, err := nw.RouteMany(pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, a := range arr {
+		if a > max {
+			max = a
+		}
+	}
+	if max != 6 {
+		t.Fatalf("makespan=%d, want 6", max)
+	}
+}
+
+func TestRouteManyEmptyPathAndBadPath(t *testing.T) {
+	g := graph.Path(3)
+	nw := newNet(g)
+	arr, err := nw.RouteMany([]Packet{{Start: 1}})
+	if err != nil || arr[0] != 0 {
+		t.Fatalf("empty path: arr=%v err=%v", arr, err)
+	}
+	// Edge 1 joins nodes 1-2; starting at 0 it is not incident.
+	if _, err := nw.RouteMany([]Packet{{Start: 0, Edges: []graph.EdgeID{1}}}); err == nil {
+		t.Fatal("want error for non-incident path")
+	}
+}
+
+func TestPacketDest(t *testing.T) {
+	g := graph.Cycle(4)
+	p := Packet{Start: 0, Edges: []graph.EdgeID{0, 1}}
+	if d := p.Dest(g); d != 2 {
+		t.Fatalf("dest=%d, want 2", d)
+	}
+}
+
+func TestRandomDelaysAblation(t *testing.T) {
+	// With many trees over a shared path, random delays must not change
+	// correctness, only scheduling.
+	g := graph.Path(10)
+	for _, disable := range []bool{false, true} {
+		nw := NewNetwork(g, Options{Seed: 7, DisableRandomDelays: disable})
+		var trees []*graph.Tree
+		for i := 0; i < 8; i++ {
+			trees = append(trees, graph.BFSTree(g, 0))
+		}
+		out, err := nw.ConvergecastMany(trees,
+			func(_ int, v graph.NodeID) Word { return 1 }, AggSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range out {
+			if w != 10 {
+				t.Fatalf("disable=%v: count=%d, want 10", disable, w)
+			}
+		}
+	}
+}
+
+func TestDeterministicRounds(t *testing.T) {
+	run := func() (int, []Word) {
+		g := graph.Grid(5, 5)
+		nw := NewNetwork(g, Options{Seed: 11})
+		trees := []*graph.Tree{
+			graph.BFSTree(g, 0),
+			graph.BFSTree(g, 24),
+			graph.BFSTree(g, 12),
+		}
+		out, err := nw.AggregateMany(trees,
+			func(t int, v graph.NodeID) Word { return Word(v * (t + 1)) }, AggMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.Rounds(), out
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1 != r2 {
+		t.Fatalf("nondeterministic rounds: %d vs %d", r1, r2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("nondeterministic output %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+}
+
+// Property: convergecast sum over a BFS tree of a random connected graph
+// equals the plain sum of values, and rounds are at least the tree height.
+func TestConvergecastSumProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn%30) + 2
+		g := graph.RandomConnected(n, n/2, 1, seed)
+		nw := NewNetwork(g, Options{Seed: seed})
+		tr := graph.BFSTree(g, 0)
+		out, err := nw.ConvergecastMany([]*graph.Tree{tr},
+			func(_ int, v graph.NodeID) Word { return Word(v) + 1 }, AggSum)
+		if err != nil {
+			return false
+		}
+		want := Word(n*(n+1)) / 2
+		return out[0] == want && nw.Rounds() >= tr.Height()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routed packets always arrive, and the makespan is at least
+// max(dilation, congestion) and at most dilation + total excess congestion.
+func TestRouteBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Grid(4, 4)
+		nw := NewNetwork(g, Options{Seed: seed})
+		// All packets traverse the top row left to right: edge IDs of the
+		// top row are the "right" edges of row 0.
+		var rowEdges []graph.EdgeID
+		v := 0
+		for c := 0; c+1 < 4; c++ {
+			for _, h := range g.Neighbors(v) {
+				if h.To == v+1 {
+					rowEdges = append(rowEdges, h.Edge)
+					break
+				}
+			}
+			v++
+		}
+		k := 5
+		pkts := make([]Packet, k)
+		for i := range pkts {
+			pkts[i] = Packet{Start: 0, Edges: rowEdges}
+		}
+		arr, err := nw.RouteMany(pkts)
+		if err != nil {
+			return false
+		}
+		makespan := 0
+		for _, a := range arr {
+			if a > makespan {
+				makespan = a
+			}
+		}
+		dilation := len(rowEdges)
+		congestion := k
+		lower := dilation
+		if congestion > lower {
+			lower = congestion
+		}
+		// Upper bound: full serialization plus the random start delays
+		// (each at most congestion-1).
+		return makespan >= lower && makespan <= dilation+2*congestion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeParallelEdges(t *testing.T) {
+	// Parallel edges each carry an independent message per round (the
+	// multigraph convention Lemma 17 needs).
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 1, 1)
+	nw := newNet(g)
+	var got []Word
+	nw.Exchange(
+		func(v graph.NodeID, h graph.Half) (Word, bool) {
+			return Word(h.Edge), v == 0
+		},
+		func(v graph.NodeID, h graph.Half, w Word) { got = append(got, w) },
+	)
+	if len(got) != 2 {
+		t.Fatalf("deliveries=%d, want 2 (one per parallel edge)", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatal("parallel edges must be distinguishable")
+	}
+}
+
+func TestRouteManyParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	e0 := g.MustAddEdge(0, 1, 1)
+	e1 := g.MustAddEdge(0, 1, 1)
+	nw := NewNetwork(g, Options{Seed: 1, DisableRandomDelays: true})
+	arr, err := nw.RouteMany([]Packet{
+		{Start: 0, Edges: []graph.EdgeID{e0}},
+		{Start: 0, Edges: []graph.EdgeID{e1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct parallel edges do not contend: both arrive in round 1.
+	if arr[0] != 1 || arr[1] != 1 {
+		t.Fatalf("arrivals=%v, want both 1", arr)
+	}
+}

@@ -1,0 +1,139 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+
+	"distlap/internal/graph"
+)
+
+// FloatWord packs a float64 into a message word (one float per O(log n)-bit
+// message, the standard CONGEST convention for numerical algorithms).
+func FloatWord(f float64) Word { return Word(math.Float64bits(f)) }
+
+// WordFloat unpacks a float64 from a message word.
+func WordFloat(w Word) float64 { return math.Float64frombits(uint64(w)) }
+
+// ConvergecastAll is ConvergecastMany that additionally exposes, per tree,
+// every member's subtree aggregate (the value the member forwarded to its
+// parent — physically known to both endpoints after the pass). Tree solvers
+// (internal/core's tree and Schwarz preconditioners) need these per-edge
+// partial aggregates, not just the root total.
+func (nw *Network) ConvergecastAll(
+	trees []*graph.Tree,
+	val func(t int, v graph.NodeID) Word,
+	agg Agg,
+) (roots []Word, subtree []map[graph.NodeID]Word, err error) {
+	if len(trees) == 0 {
+		return nil, nil, ErrNoTrees
+	}
+	k := len(trees)
+	type nodeState struct {
+		pending int
+		acc     Word
+	}
+	states := make([]map[graph.NodeID]*nodeState, k)
+	sched := newTreeSched(nw)
+	delays := nw.randomDelays(k, nw.treeCongestion(trees))
+	for t, tr := range trees {
+		states[t] = make(map[graph.NodeID]*nodeState, len(tr.Members))
+		ch := tr.Children()
+		for _, v := range tr.Members {
+			states[t][v] = &nodeState{pending: len(ch[v]), acc: val(t, v)}
+		}
+		for _, v := range tr.Members {
+			st := states[t][v]
+			if st.pending == 0 && v != tr.Root {
+				sched.push(nw.dirEdge(tr.ParentEdge[v], v), pendingSend{
+					tree: t, from: v, to: tr.Parent[v], w: st.acc,
+					eligible: 1 + delays[t],
+				})
+			}
+		}
+	}
+	deliver := func(ps pendingSend) {
+		tr := trees[ps.tree]
+		st := states[ps.tree][ps.to]
+		st.acc = agg(st.acc, ps.w)
+		st.pending--
+		if st.pending == 0 && ps.to != tr.Root {
+			sched.push(nw.dirEdge(tr.ParentEdge[ps.to], ps.to), pendingSend{
+				tree: ps.tree, from: ps.to, to: tr.Parent[ps.to], w: st.acc,
+				eligible: sched.round + 1,
+			})
+		}
+	}
+	for sched.step(deliver) {
+	}
+	roots = make([]Word, k)
+	subtree = make([]map[graph.NodeID]Word, k)
+	for t, tr := range trees {
+		subtree[t] = make(map[graph.NodeID]Word, len(tr.Members))
+		for _, v := range tr.Members {
+			st := states[t][v]
+			if st.pending != 0 {
+				return nil, nil, fmt.Errorf("congest: convergecast of tree %d stuck at node %d", t, v)
+			}
+			subtree[t][v] = st.acc
+		}
+		roots[t] = subtree[t][tr.Root]
+	}
+	return roots, subtree, nil
+}
+
+// DownSweepMany propagates values from each tree root toward the leaves,
+// transforming per hop: the parent computes next(t, parent, child,
+// parentVal) — a function of locally-known state — and sends the result to
+// the child. on fires at every member with its received (or, for the root,
+// initial) value. This is the downward pass of distributed tree solvers.
+func (nw *Network) DownSweepMany(
+	trees []*graph.Tree,
+	rootVal []Word,
+	next func(t int, parent, child graph.NodeID, parentVal Word) Word,
+	on func(t int, v graph.NodeID, w Word),
+) error {
+	if len(trees) == 0 {
+		return ErrNoTrees
+	}
+	if len(rootVal) != len(trees) {
+		return fmt.Errorf("congest: %d root values for %d trees", len(rootVal), len(trees))
+	}
+	k := len(trees)
+	sched := newTreeSched(nw)
+	delays := nw.randomDelays(k, nw.treeCongestion(trees))
+	children := make([][][]graph.NodeID, k)
+	received := make([]map[graph.NodeID]bool, k)
+	for t, tr := range trees {
+		children[t] = tr.Children()
+		received[t] = make(map[graph.NodeID]bool, len(tr.Members))
+	}
+	fanOut := func(t int, v graph.NodeID, w Word, eligible int) {
+		for _, c := range children[t][v] {
+			sched.push(nw.dirEdge(trees[t].ParentEdge[c], v), pendingSend{
+				tree: t, from: v, to: c, w: next(t, v, c, w), eligible: eligible,
+			})
+		}
+	}
+	for t, tr := range trees {
+		received[t][tr.Root] = true
+		on(t, tr.Root, rootVal[t])
+		fanOut(t, tr.Root, rootVal[t], 1+delays[t])
+	}
+	deliver := func(ps pendingSend) {
+		if received[ps.tree][ps.to] {
+			return
+		}
+		received[ps.tree][ps.to] = true
+		on(ps.tree, ps.to, ps.w)
+		fanOut(ps.tree, ps.to, ps.w, sched.round+1)
+	}
+	for sched.step(deliver) {
+	}
+	for t, tr := range trees {
+		if len(received[t]) != len(tr.Members) {
+			return fmt.Errorf("congest: down-sweep of tree %d reached %d of %d members",
+				t, len(received[t]), len(tr.Members))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package congest
+
+import (
+	"fmt"
+
+	"distlap/internal/graph"
+)
+
+// Agg is a commutative, associative aggregation function over words
+// (paper Definition 4: min, sum, logical-AND, ...).
+type Agg func(a, b Word) Word
+
+// Standard aggregation functions.
+func AggSum(a, b Word) Word { return a + b }
+func AggMin(a, b Word) Word {
+	if b < a {
+		return b
+	}
+	return a
+}
+func AggMax(a, b Word) Word {
+	if b > a {
+		return b
+	}
+	return a
+}
+func AggAnd(a, b Word) Word {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+func AggOr(a, b Word) Word {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// pendingSend is one word waiting to cross a directed edge.
+type pendingSend struct {
+	tree     int
+	from     graph.NodeID
+	to       graph.NodeID
+	w        Word
+	eligible int // earliest round this send may occur
+}
+
+// treeSched is the shared store-and-forward scheduler for tree-structured
+// communication: per directed edge a FIFO of pending sends, at most one
+// crossing per round.
+type treeSched struct {
+	nw     *Network
+	queues map[int][]pendingSend // dirEdge -> FIFO
+	active []int                 // sorted dirEdges with nonempty queues
+	dirty  bool
+	round  int
+}
+
+func newTreeSched(nw *Network) *treeSched {
+	return &treeSched{nw: nw, queues: make(map[int][]pendingSend)}
+}
+
+func (s *treeSched) push(de int, ps pendingSend) {
+	q := s.queues[de]
+	if len(q) == 0 {
+		s.active = append(s.active, de)
+		s.dirty = true
+	}
+	s.queues[de] = append(q, ps)
+}
+
+// step advances one round, delivering at most one eligible send per directed
+// edge; deliveries are returned so the caller can apply their effects (which
+// may enqueue new sends eligible from round+1). Returns false when no queue
+// holds any send.
+func (s *treeSched) step(deliver func(ps pendingSend)) bool {
+	if len(s.active) == 0 {
+		return false
+	}
+	if s.dirty {
+		sortInts(s.active)
+		s.dirty = false
+	}
+	s.round++
+	var delivered []pendingSend
+	newActive := s.active[:0]
+	for _, de := range s.active {
+		q := s.queues[de]
+		// Pop the first eligible send, preserving FIFO order otherwise.
+		popped := false
+		for i := range q {
+			if q[i].eligible <= s.round {
+				ps := q[i]
+				q = append(q[:i], q[i+1:]...)
+				s.nw.chargeEdge(de)
+				delivered = append(delivered, ps)
+				popped = true
+				break
+			}
+		}
+		_ = popped
+		if len(q) == 0 {
+			delete(s.queues, de)
+		} else {
+			s.queues[de] = q
+			newActive = append(newActive, de)
+		}
+	}
+	s.active = append([]int(nil), newActive...)
+	s.dirty = true
+	s.nw.metrics.Rounds++
+	for _, ps := range delivered {
+		deliver(ps)
+	}
+	return true
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// treeCongestion returns the maximum number of trees whose parent edges use
+// any single directed edge (the scheduler's congestion parameter c).
+func (nw *Network) treeCongestion(trees []*graph.Tree) int {
+	use := make(map[int]int)
+	c := 1
+	for _, t := range trees {
+		for _, v := range t.Members {
+			if t.Parent[v] == -1 {
+				continue
+			}
+			de := nw.dirEdge(t.ParentEdge[v], v)
+			use[de]++
+			if use[de] > c {
+				c = use[de]
+			}
+		}
+	}
+	return c
+}
+
+// randomDelays draws, for each tree, an initial delay uniform in [0, c)
+// (Ghaffari'15-style random-delay scheduling). With delays disabled all
+// trees start immediately.
+func (nw *Network) randomDelays(k, c int) []int {
+	delays := make([]int, k)
+	if nw.opts.DisableRandomDelays || c <= 1 {
+		return delays
+	}
+	for i := range delays {
+		delays[i] = nw.rng.Intn(c)
+	}
+	return delays
+}
+
+// ConvergecastMany aggregates, concurrently for every tree, the value
+// val(t, v) over the tree's members using agg, delivering the result to each
+// tree's root. Trees may share graph edges; every directed edge carries at
+// most one word per round, so the measured cost is the true scheduled
+// makespan (O(congestion + depth) with random delays, up to log factors).
+// Returns the per-tree root aggregates.
+func (nw *Network) ConvergecastMany(
+	trees []*graph.Tree,
+	val func(t int, v graph.NodeID) Word,
+	agg Agg,
+) ([]Word, error) {
+	if len(trees) == 0 {
+		return nil, ErrNoTrees
+	}
+	k := len(trees)
+	type nodeState struct {
+		pending int
+		acc     Word
+	}
+	states := make([]map[graph.NodeID]*nodeState, k)
+	sched := newTreeSched(nw)
+	delays := nw.randomDelays(k, nw.treeCongestion(trees))
+
+	for t, tr := range trees {
+		states[t] = make(map[graph.NodeID]*nodeState, len(tr.Members))
+		ch := tr.Children()
+		for _, v := range tr.Members {
+			states[t][v] = &nodeState{pending: len(ch[v]), acc: val(t, v)}
+		}
+		// Leaves are immediately ready to send to their parents.
+		for _, v := range tr.Members {
+			st := states[t][v]
+			if st.pending == 0 && v != tr.Root {
+				sched.push(nw.dirEdge(tr.ParentEdge[v], v), pendingSend{
+					tree: t, from: v, to: tr.Parent[v], w: st.acc,
+					eligible: 1 + delays[t],
+				})
+			}
+		}
+	}
+
+	deliver := func(ps pendingSend) {
+		tr := trees[ps.tree]
+		st := states[ps.tree][ps.to]
+		st.acc = agg(st.acc, ps.w)
+		st.pending--
+		if st.pending == 0 && ps.to != tr.Root {
+			sched.push(nw.dirEdge(tr.ParentEdge[ps.to], ps.to), pendingSend{
+				tree: ps.tree, from: ps.to, to: tr.Parent[ps.to], w: st.acc,
+				eligible: sched.round + 1,
+			})
+		}
+	}
+	for sched.step(deliver) {
+	}
+
+	out := make([]Word, k)
+	for t, tr := range trees {
+		st := states[t][tr.Root]
+		if st == nil || st.pending != 0 {
+			return nil, fmt.Errorf("congest: convergecast of tree %d did not complete", t)
+		}
+		out[t] = st.acc
+	}
+	return out, nil
+}
+
+// BroadcastMany propagates, concurrently for every tree, the root value
+// rootVal[t] to all members. on(t, v, w) is invoked once per member with the
+// received value (including the root itself at round 0). Cost accounting is
+// identical to ConvergecastMany.
+func (nw *Network) BroadcastMany(
+	trees []*graph.Tree,
+	rootVal []Word,
+	on func(t int, v graph.NodeID, w Word),
+) error {
+	if len(trees) == 0 {
+		return ErrNoTrees
+	}
+	if len(rootVal) != len(trees) {
+		return fmt.Errorf("congest: %d root values for %d trees", len(rootVal), len(trees))
+	}
+	k := len(trees)
+	sched := newTreeSched(nw)
+	delays := nw.randomDelays(k, nw.treeCongestion(trees))
+	children := make([][][]graph.NodeID, k)
+	received := make([]map[graph.NodeID]bool, k)
+	for t, tr := range trees {
+		children[t] = tr.Children()
+		received[t] = make(map[graph.NodeID]bool, len(tr.Members))
+	}
+
+	fanOut := func(t int, v graph.NodeID, w Word, eligible int) {
+		for _, c := range children[t][v] {
+			sched.push(nw.dirEdge(trees[t].ParentEdge[c], v), pendingSend{
+				tree: t, from: v, to: c, w: w, eligible: eligible,
+			})
+		}
+	}
+	for t, tr := range trees {
+		received[t][tr.Root] = true
+		on(t, tr.Root, rootVal[t])
+		fanOut(t, tr.Root, rootVal[t], 1+delays[t])
+	}
+	deliver := func(ps pendingSend) {
+		if received[ps.tree][ps.to] {
+			return
+		}
+		received[ps.tree][ps.to] = true
+		on(ps.tree, ps.to, ps.w)
+		fanOut(ps.tree, ps.to, ps.w, sched.round+1)
+	}
+	for sched.step(deliver) {
+	}
+
+	for t, tr := range trees {
+		if len(received[t]) != len(tr.Members) {
+			return fmt.Errorf("congest: broadcast of tree %d reached %d of %d members",
+				t, len(received[t]), len(tr.Members))
+		}
+	}
+	return nil
+}
+
+// AggregateMany runs a full part-wise aggregation round-trip on every tree:
+// convergecast of val under agg to the root, then broadcast of the result
+// back to all members. It returns the per-tree aggregates (which, after the
+// call, every member of the corresponding tree knows). This realizes
+// Proposition 6's "solve part-wise aggregation given trees of the shortcut
+// subgraphs".
+func (nw *Network) AggregateMany(
+	trees []*graph.Tree,
+	val func(t int, v graph.NodeID) Word,
+	agg Agg,
+) ([]Word, error) {
+	up, err := nw.ConvergecastMany(trees, val, agg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.BroadcastMany(trees, up, func(int, graph.NodeID, Word) {}); err != nil {
+		return nil, err
+	}
+	return up, nil
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's primary contribution: a distributed
+// Laplacian solver whose every communication step is expressed through the
+// (congested) part-wise aggregation primitive, so that its round complexity
+// is (#iterations) × Q(p) exactly as in Assumption 27 / Theorem 28.
+//
+// The solver is a distributed preconditioned conjugate-gradient iteration
+// (see DESIGN.md §1 for why this parameterization substitutes for the full
+// FOCS'21 recursion): per iteration it performs one local matrix-vector
+// exchange, O(1) batched global inner products, and — under the Schwarz
+// preconditioner — one congested concurrent tree-sweep over overlapping
+// clusters. Swapping the Comm implementation yields the paper's three
+// models:
+//
+//   - CongestComm (universal mode) — shortcuts/local trees, Theorem 2;
+//   - CongestComm (naive mode) — everything over one global BFS tree, the
+//     existentially-optimal baseline in the style of [18];
+//   - HybridComm — local edges for MatVec, NCC for global aggregation,
+//     Theorem 3.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+	"distlap/internal/ncc"
+	"distlap/internal/partwise"
+)
+
+// Comm abstracts the communication substrate the distributed solver runs
+// on. All methods physically move data through the underlying engines and
+// accumulate measured rounds.
+type Comm interface {
+	Name() string
+	Graph() *graph.Graph
+	// Rounds returns the total rounds charged so far across the comm's
+	// underlying engines.
+	Rounds() int
+	// MatVecLaplacian computes y = L x with one neighbor-exchange round.
+	MatVecLaplacian(x []float64) ([]float64, error)
+	// GlobalSums returns the global sums of the given per-node vectors,
+	// batched into one pipelined aggregation.
+	GlobalSums(vecs ...[]float64) ([]float64, error)
+	// ClusterTrees materializes aggregation trees for (possibly
+	// overlapping) node clusters; the choice of tree shape is what
+	// separates the universal solver from the baseline.
+	ClusterTrees(clusters [][]graph.NodeID) ([]*graph.Tree, error)
+	// TreeUpDown runs, concurrently over all trees, an upward subtree-sum
+	// sweep of leaf values followed by a downward transforming sweep, and
+	// returns each tree's node potentials. rootVal seeds the downward pass
+	// from the root's subtree total; down computes a child's potential
+	// from its parent's potential and the child's subtree sum.
+	TreeUpDown(
+		trees []*graph.Tree,
+		leaf func(t int, v graph.NodeID) float64,
+		rootVal func(t int, total float64) float64,
+		down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
+	) ([]map[graph.NodeID]float64, error)
+}
+
+// fsum is float64 summation over bit-packed words.
+func fsum(a, b congest.Word) congest.Word {
+	return congest.FloatWord(congest.WordFloat(a) + congest.WordFloat(b))
+}
+
+// FloatSum is the float64-summation aggregation spec (identity +0.0) used
+// by every numerical aggregation in the solver.
+var FloatSum = partwise.AggSpec{Name: "fsum", Fn: fsum, Identity: congest.FloatWord(0)}
+
+// CongestComm implements Comm on the CONGEST engine.
+type CongestComm struct {
+	nw    *congest.Network
+	naive bool
+
+	globalTree *graph.Tree
+}
+
+var _ Comm = (*CongestComm)(nil)
+
+// NewCongestComm builds a CONGEST comm. naive selects the baseline mode in
+// which all aggregation structures are (Steiner subtrees of) one global BFS
+// tree. The global BFS tree is paid for once here when the network is not
+// in Supported mode.
+func NewCongestComm(nw *congest.Network, naive bool) (*CongestComm, error) {
+	g := nw.Graph()
+	if g.N() == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	center := graph.ApproxCenter(g)
+	var tree *graph.Tree
+	if nw.Supported() {
+		tree = graph.BFSTree(g, center)
+	} else {
+		res := nw.BFS(center)
+		tree = &graph.Tree{
+			Root: center, Parent: res.Parent, ParentEdge: res.ParentEdge,
+			Depth: res.Dist, Members: res.Order,
+		}
+	}
+	if len(tree.Members) != g.N() {
+		return nil, errors.New("core: graph disconnected")
+	}
+	return &CongestComm{nw: nw, naive: naive, globalTree: tree}, nil
+}
+
+// Name implements Comm.
+func (c *CongestComm) Name() string {
+	if c.naive {
+		return "congest-naive"
+	}
+	return "congest-universal"
+}
+
+// Graph implements Comm.
+func (c *CongestComm) Graph() *graph.Graph { return c.nw.Graph() }
+
+// Rounds implements Comm.
+func (c *CongestComm) Rounds() int { return c.nw.Rounds() }
+
+// Network exposes the underlying engine (for metrics in experiments).
+func (c *CongestComm) Network() *congest.Network { return c.nw }
+
+// GlobalTree exposes the global BFS tree (used by the tree preconditioner).
+func (c *CongestComm) GlobalTree() *graph.Tree { return c.globalTree }
+
+// MatVecLaplacian implements Comm: one exchange round in which every node
+// sends its x value to each neighbor and accumulates w·(x_v − x_u).
+func (c *CongestComm) MatVecLaplacian(x []float64) ([]float64, error) {
+	g := c.nw.Graph()
+	if len(x) != g.N() {
+		return nil, fmt.Errorf("core: x has %d entries for n=%d", len(x), g.N())
+	}
+	y := make([]float64, len(x))
+	c.nw.Exchange(
+		func(v graph.NodeID, h graph.Half) (congest.Word, bool) {
+			return congest.FloatWord(x[v]), true
+		},
+		func(v graph.NodeID, h graph.Half, w congest.Word) {
+			xu := congest.WordFloat(w)
+			y[v] += float64(g.Edge(h.Edge).Weight) * (x[v] - xu)
+		},
+	)
+	return y, nil
+}
+
+// GlobalSums implements Comm: b vectors aggregate as b concurrent passes
+// over the global tree (pipelined by the engine: cost ≈ height + b).
+func (c *CongestComm) GlobalSums(vecs ...[]float64) ([]float64, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	trees := make([]*graph.Tree, len(vecs))
+	for i := range trees {
+		trees[i] = c.globalTree
+	}
+	out, err := c.nw.AggregateMany(trees, func(t int, v graph.NodeID) congest.Word {
+		return congest.FloatWord(vecs[t][v])
+	}, fsum)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(out))
+	for i, w := range out {
+		sums[i] = congest.WordFloat(w)
+	}
+	return sums, nil
+}
+
+// ClusterTrees implements Comm. Universal mode: a BFS tree inside each
+// cluster (height ≤ cluster diameter). Naive mode: the cluster's Steiner
+// subtree of the global BFS tree — tall and overlapping near the root, the
+// existential baseline's behaviour.
+func (c *CongestComm) ClusterTrees(clusters [][]graph.NodeID) ([]*graph.Tree, error) {
+	g := c.nw.Graph()
+	trees := make([]*graph.Tree, len(clusters))
+	for i, cl := range clusters {
+		if len(cl) == 0 {
+			return nil, fmt.Errorf("core: cluster %d empty", i)
+		}
+		if c.naive {
+			trees[i] = steinerTreeOfGlobal(g, c.globalTree, cl)
+			continue
+		}
+		tr := graph.BFSTreeOfSubgraph(g, cl, nil, cl[0])
+		if len(tr.Members) != len(cl) {
+			return nil, fmt.Errorf("core: cluster %d not induced-connected", i)
+		}
+		trees[i] = tr
+	}
+	return trees, nil
+}
+
+// steinerTreeOfGlobal returns the subtree of the global tree spanning the
+// terminals (terminals plus all their tree ancestors up to the meeting
+// node), rooted at the shallowest included node.
+func steinerTreeOfGlobal(g *graph.Graph, global *graph.Tree, terminals []graph.NodeID) *graph.Tree {
+	include := make(map[graph.NodeID]bool)
+	for _, t := range terminals {
+		v := t
+		for v != -1 && !include[v] {
+			include[v] = true
+			v = global.Parent[v]
+		}
+	}
+	// Root = minimum-depth included node.
+	root := terminals[0]
+	for v := range include {
+		if global.Depth[v] < global.Depth[root] {
+			root = v
+		}
+	}
+	n := g.N()
+	tr := &graph.Tree{
+		Root:       root,
+		Parent:     make([]graph.NodeID, n),
+		ParentEdge: make([]graph.EdgeID, n),
+		Depth:      make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		tr.Parent[i] = -1
+		tr.ParentEdge[i] = -1
+		tr.Depth[i] = -1
+	}
+	// Members in global BFS order restricted to included nodes keeps
+	// parents before children.
+	for _, v := range global.Members {
+		if !include[v] {
+			continue
+		}
+		if v == root {
+			tr.Depth[v] = 0
+		} else {
+			p := global.Parent[v]
+			tr.Parent[v] = p
+			tr.ParentEdge[v] = global.ParentEdge[v]
+			tr.Depth[v] = tr.Depth[p] + 1
+		}
+		tr.Members = append(tr.Members, v)
+	}
+	return tr
+}
+
+// TreeUpDown implements Comm via the engine's concurrent sweep primitives.
+func (c *CongestComm) TreeUpDown(
+	trees []*graph.Tree,
+	leaf func(t int, v graph.NodeID) float64,
+	rootVal func(t int, total float64) float64,
+	down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
+) ([]map[graph.NodeID]float64, error) {
+	roots, sub, err := c.nw.ConvergecastAll(trees,
+		func(t int, v graph.NodeID) congest.Word {
+			return congest.FloatWord(leaf(t, v))
+		}, fsum)
+	if err != nil {
+		return nil, err
+	}
+	rootVals := make([]congest.Word, len(trees))
+	for t := range trees {
+		rootVals[t] = congest.FloatWord(rootVal(t, congest.WordFloat(roots[t])))
+	}
+	out := make([]map[graph.NodeID]float64, len(trees))
+	for t, tr := range trees {
+		out[t] = make(map[graph.NodeID]float64, len(tr.Members))
+	}
+	err = c.nw.DownSweepMany(trees, rootVals,
+		func(t int, parent, child graph.NodeID, parentVal congest.Word) congest.Word {
+			return congest.FloatWord(down(t, parent, child,
+				congest.WordFloat(parentVal),
+				congest.WordFloat(sub[t][child])))
+		},
+		func(t int, v graph.NodeID, w congest.Word) {
+			out[t][v] = congest.WordFloat(w)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HybridComm implements Comm for the HYBRID model (Theorem 3): local
+// operations (MatVec, cluster sweeps) run on the CONGEST engine; global
+// aggregation runs on the NCC engine in O(log n) rounds regardless of
+// topology. Rounds are charged as the sum of both engines (a conservative
+// upper bound on the interleaved execution).
+type HybridComm struct {
+	local  *CongestComm
+	global *ncc.Network
+}
+
+var _ Comm = (*HybridComm)(nil)
+
+// NewHybridComm builds a hybrid comm over the same node set.
+func NewHybridComm(nw *congest.Network) (*HybridComm, error) {
+	local, err := NewCongestComm(nw, false)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridComm{local: local, global: ncc.NewNetwork(nw.Graph().N())}, nil
+}
+
+// Name implements Comm.
+func (h *HybridComm) Name() string { return "hybrid" }
+
+// Graph implements Comm.
+func (h *HybridComm) Graph() *graph.Graph { return h.local.Graph() }
+
+// Rounds implements Comm.
+func (h *HybridComm) Rounds() int { return h.local.Rounds() + h.global.Rounds() }
+
+// NCC exposes the global engine (metrics).
+func (h *HybridComm) NCC() *ncc.Network { return h.global }
+
+// MatVecLaplacian implements Comm (local edges).
+func (h *HybridComm) MatVecLaplacian(x []float64) ([]float64, error) {
+	return h.local.MatVecLaplacian(x)
+}
+
+// GlobalSums implements Comm via one NCC aggregation with one whole-graph
+// part per vector (Lemma 26 with p = len(vecs)).
+func (h *HybridComm) GlobalSums(vecs ...[]float64) ([]float64, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	n := h.Graph().N()
+	inst := &partwise.Instance{}
+	for _, vec := range vecs {
+		part := make([]graph.NodeID, n)
+		vals := make([]congest.Word, n)
+		for v := 0; v < n; v++ {
+			part[v] = v
+			vals[v] = congest.FloatWord(vec[v])
+		}
+		inst.Parts = append(inst.Parts, part)
+		inst.Values = append(inst.Values, vals)
+	}
+	out, err := h.global.Aggregate(inst, FloatSum)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(out))
+	for i, w := range out {
+		sums[i] = congest.WordFloat(w)
+	}
+	return sums, nil
+}
+
+// ClusterTrees implements Comm (local, universal shape).
+func (h *HybridComm) ClusterTrees(clusters [][]graph.NodeID) ([]*graph.Tree, error) {
+	return h.local.ClusterTrees(clusters)
+}
+
+// TreeUpDown implements Comm (local edges).
+func (h *HybridComm) TreeUpDown(
+	trees []*graph.Tree,
+	leaf func(t int, v graph.NodeID) float64,
+	rootVal func(t int, total float64) float64,
+	down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
+) ([]map[graph.NodeID]float64, error) {
+	return h.local.TreeUpDown(trees, leaf, rootVal, down)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+)
+
+// NewComm builds the standard communication substrate for a mode.
+func NewComm(g *graph.Graph, mode Mode, seed int64) (Comm, error) {
+	switch mode {
+	case ModeUniversal:
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		return NewCongestComm(nw, false)
+	case ModeCongest:
+		nw := congest.NewNetwork(g, congest.Options{Supported: false, Seed: seed})
+		return NewCongestComm(nw, false)
+	case ModeBaseline:
+		// Supported, so the comparison against ModeUniversal isolates the
+		// aggregation structure (global tree vs per-cluster) rather than
+		// construction costs.
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		return NewCongestComm(nw, true)
+	case ModeHybrid:
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		return NewHybridComm(nw)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %q", mode)
+	}
+}
+
+// DefaultPrecond returns the standard preconditioner for a graph: the
+// overlapping-cluster Schwarz preconditioner with ~√n-sized clusters and
+// overlap 2 (the congested-PWA component of the solver).
+func DefaultPrecond(g *graph.Graph, seed int64) Preconditioner {
+	size := 4
+	for (size+1)*(size+1) <= g.N() {
+		size++
+	}
+	return NewSchwarzPrecond(size, 2, seed)
+}
+
+// SolveOnGraph is the one-call entry point used by the CLIs, examples and
+// benchmarks: build the mode's comm, solve L x = b to tolerance tol with
+// the default preconditioner, and return both the result and the comm (for
+// metric extraction).
+func SolveOnGraph(g *graph.Graph, b []float64, mode Mode, tol float64, seed int64) (*Result, Comm, error) {
+	c, err := NewComm(g, mode, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Solve(c, b, Options{Tol: tol, Precond: DefaultPrecond(g, seed)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, c, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"distlap/internal/linalg"
+)
+
+// Options configure a distributed solve.
+type Options struct {
+	// Tol is the target relative 2-norm residual ‖b − Lx‖/‖b‖; the
+	// iteration count scales as log(1/Tol), the paper's log(1/ε) factor.
+	Tol float64
+	// MaxIter caps PCG iterations (0 selects a safe default).
+	MaxIter int
+	// Precond selects the preconditioner (nil = identity).
+	Precond Preconditioner
+}
+
+// Result reports a distributed solve.
+type Result struct {
+	X           []float64
+	Iterations  int
+	Residual    float64 // achieved relative residual
+	Rounds      int     // total communication rounds measured on the comm
+	SetupRounds int     // rounds consumed before the first iteration
+}
+
+// ErrBadTol is returned for nonsensical tolerances.
+var ErrBadTol = errors.New("core: tolerance must be in (0, 1)")
+
+// Solve runs the distributed preconditioned conjugate-gradient Laplacian
+// solver over the given communication substrate. The right-hand side must
+// (approximately) sum to zero; the returned solution is mean-centered.
+//
+// Every numerical reduction goes through comm.GlobalSums, every
+// matrix-vector product through comm.MatVecLaplacian, and preconditioner
+// applications through tree sweeps — so Result.Rounds is the measured
+// CONGEST/HYBRID round complexity of the whole solve (Theorem 28's
+// #iterations × Q(p) structure, with Q measured rather than assumed).
+func Solve(c Comm, b []float64, opts Options) (*Result, error) {
+	g := c.Graph()
+	n := g.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("core: b has %d entries for n=%d", len(b), n)
+	}
+	if opts.Tol <= 0 || opts.Tol >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadTol, opts.Tol)
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 40*n + 200
+	}
+	pre := opts.Precond
+	if pre == nil {
+		pre = &IdentityPrecond{}
+	}
+	if err := pre.Setup(c); err != nil {
+		return nil, fmt.Errorf("core: precond setup: %w", err)
+	}
+
+	// Center b: one global sum, then a local subtraction (n is common
+	// knowledge).
+	sums, err := c.GlobalSums(b)
+	if err != nil {
+		return nil, err
+	}
+	bc := linalg.Copy(b)
+	mean := sums[0] / float64(n)
+	for i := range bc {
+		bc[i] -= mean
+	}
+	bsq := make([]float64, n)
+	for i := range bc {
+		bsq[i] = bc[i] * bc[i]
+	}
+	sums, err = c.GlobalSums(bsq)
+	if err != nil {
+		return nil, err
+	}
+	bNorm := math.Sqrt(sums[0])
+	setupRounds := c.Rounds()
+	x := make([]float64, n)
+	if bNorm == 0 {
+		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds}, nil
+	}
+
+	r := linalg.Copy(bc)
+	z, err := pre.Apply(c, r)
+	if err != nil {
+		return nil, err
+	}
+	p := linalg.Copy(z)
+	rz, err := dotVia(c, r, z)
+	if err != nil {
+		return nil, err
+	}
+	for it := 1; it <= maxIter; it++ {
+		lp, err := c.MatVecLaplacian(p)
+		if err != nil {
+			return nil, err
+		}
+		plp, err := dotVia(c, p, lp)
+		if err != nil {
+			return nil, err
+		}
+		if plp <= 0 || math.IsNaN(plp) {
+			return nil, fmt.Errorf("%w: curvature %g at iteration %d",
+				linalg.ErrNoConverge, plp, it)
+		}
+		alpha := rz / plp
+		linalg.AXPY(alpha, p, x)
+		linalg.AXPY(-alpha, lp, r)
+
+		z, err = pre.Apply(c, r)
+		if err != nil {
+			return nil, err
+		}
+		// Batch the two reductions of the tail of the iteration into one
+		// pipelined aggregation.
+		rr := make([]float64, n)
+		rzv := make([]float64, n)
+		for i := range r {
+			rr[i] = r[i] * r[i]
+			rzv[i] = r[i] * z[i]
+		}
+		pair, err := c.GlobalSums(rr, rzv)
+		if err != nil {
+			return nil, err
+		}
+		res := math.Sqrt(pair[0]) / bNorm
+		if res <= opts.Tol {
+			linalg.CenterMean(x)
+			return &Result{
+				X: x, Iterations: it, Residual: res,
+				Rounds: c.Rounds(), SetupRounds: setupRounds,
+			}, nil
+		}
+		rzNew := pair[1]
+		if rzNew <= 0 || math.IsNaN(rzNew) {
+			return nil, fmt.Errorf("%w: rz=%g at iteration %d (preconditioner not SPD?)",
+				linalg.ErrNoConverge, rzNew, it)
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", linalg.ErrNoConverge, maxIter)
+}
+
+// dotVia computes a global inner product through the comm.
+func dotVia(c Comm, a, b []float64) (float64, error) {
+	prod := make([]float64, len(a))
+	for i := range a {
+		prod[i] = a[i] * b[i]
+	}
+	sums, err := c.GlobalSums(prod)
+	if err != nil {
+		return 0, err
+	}
+	return sums[0], nil
+}
+
+// Mode selects a standard solver configuration for experiments and CLIs.
+type Mode string
+
+// Standard modes.
+const (
+	// ModeUniversal: Supported-CONGEST with per-cluster trees + shortcut-
+	// style aggregation (Theorem 2, first bullet).
+	ModeUniversal Mode = "universal"
+	// ModeCongest: standard CONGEST (pays BFS/shortcut construction).
+	ModeCongest Mode = "congest"
+	// ModeBaseline: the existential baseline — everything over one global
+	// BFS tree (the [18]-style √n + D shape).
+	ModeBaseline Mode = "baseline"
+	// ModeHybrid: CONGEST + NCC (Theorem 3).
+	ModeHybrid Mode = "hybrid"
+)

@@ -1,0 +1,132 @@
+// Package experiments regenerates the paper-claim tables E1–E11 indexed in
+// DESIGN.md §3: each experiment turns a figure, lemma or theorem of the
+// paper into a measured series on the simulator. cmd/experiments prints the
+// tables; the root bench_test.go wraps each one in a testing.B benchmark;
+// EXPERIMENTS.md records expected-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Fprint renders the table as aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner executes one experiment. quick shrinks the sweep for benchmarks
+// and smoke tests.
+type Runner func(quick bool) (*Table, error)
+
+// Registry maps experiment IDs to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1,
+		"E2":  E2,
+		"E3":  E3,
+		"E4":  E4,
+		"E5":  E5,
+		"E6":  E6,
+		"E7":  E7,
+		"E8":  E8,
+		"E9a": E9a,
+		"E9b": E9b,
+		"E10": E10,
+		"E11": E11,
+		"E12": E12,
+		"E13": E13,
+		"E14": E14,
+	}
+}
+
+// IDs returns the experiment IDs in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry()))
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		// E1 < E2 < ... < E9a < E9b < E10 < E11.
+		ka, kb := sortKey(ids[a]), sortKey(ids[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+func sortKey(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, quick bool) (*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(quick)
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func ftoa(f float64) string { return fmt.Sprintf("%.2f", f) }

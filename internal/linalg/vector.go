@@ -1,0 +1,94 @@
+// Package linalg provides the numerical substrate of the Laplacian solvers:
+// dense vector operations, graph Laplacian operators, an exact (direct)
+// solver used as ground truth, and sequential iterative solvers (CG,
+// preconditioned CG, Chebyshev) that the distributed solver in
+// internal/core mirrors operation by operation.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the numerical routines.
+var (
+	ErrDimension    = errors.New("linalg: dimension mismatch")
+	ErrNotInRange   = errors.New("linalg: right-hand side not in the Laplacian's range (sum != 0)")
+	ErrSingular     = errors.New("linalg: singular system")
+	ErrNoConverge   = errors.New("linalg: iteration did not converge")
+	ErrDisconnected = errors.New("linalg: graph must be connected")
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy returns a fresh copy of x.
+func Copy(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x (0 for empty).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// CenterMean subtracts the mean from every entry, projecting x onto the
+// space orthogonal to the all-ones vector (the Laplacian's range).
+func CenterMean(x []float64) {
+	m := Mean(x)
+	for i := range x {
+		x[i] -= m
+	}
+}
+
+// CheckSameLen verifies vectors share a length.
+func CheckSameLen(vs ...[]float64) error {
+	for i := 1; i < len(vs); i++ {
+		if len(vs[i]) != len(vs[0]) {
+			return fmt.Errorf("%w: %d vs %d", ErrDimension, len(vs[i]), len(vs[0]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package ncc implements the node-capacitated clique model (paper §2,
+// following Augustine et al. [2]): in every round each node may exchange
+// O(log n)-bit messages with O(log n) arbitrary nodes; messages beyond a
+// receiver's capacity are dropped. The engine schedules message batches
+// under per-node send and receive caps and measures rounds, and the
+// Aggregate method realizes Lemma 26: any p-congested part-wise aggregation
+// solved in O(p + log n) NCC rounds.
+package ncc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+)
+
+// Message is one O(log n)-bit message between arbitrary nodes.
+type Message struct {
+	From, To graph.NodeID
+	Payload  congest.Word
+}
+
+// Network is an NCC communication network over n nodes.
+type Network struct {
+	n        int
+	cap      int
+	rounds   int
+	messages int64
+}
+
+// ErrNoNodes is returned for empty networks.
+var ErrNoNodes = errors.New("ncc: network has no nodes")
+
+// NewNetwork returns an NCC network over n nodes with the standard
+// per-node capacity ceil(log2 n) (minimum 1).
+func NewNetwork(n int) *Network {
+	return &Network{n: n, cap: log2ceil(n)}
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// Capacity returns the per-node, per-round message capacity.
+func (nw *Network) Capacity() int { return nw.cap }
+
+// Rounds returns the rounds elapsed.
+func (nw *Network) Rounds() int { return nw.rounds }
+
+// Messages returns the total messages delivered.
+func (nw *Network) Messages() int64 { return nw.messages }
+
+// Reset zeroes the metrics.
+func (nw *Network) Reset() { nw.rounds, nw.messages = 0, 0 }
+
+// Deliver schedules all messages under the per-node send and receive caps
+// (FIFO per sender, senders scanned in ID order — deterministic) and
+// invokes recv for each delivery in delivery order. Because the scheduler
+// never oversubscribes a receiver, no messages are dropped; the measured
+// rounds are what an actual NCC execution with this schedule would take.
+// Returns the number of rounds consumed.
+func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
+	for _, m := range msgs {
+		if m.From < 0 || m.From >= nw.n || m.To < 0 || m.To >= nw.n {
+			return 0, fmt.Errorf("ncc: %w: message %d->%d with n=%d",
+				graph.ErrNodeRange, m.From, m.To, nw.n)
+		}
+	}
+	// FIFO queue per sender.
+	queues := make(map[graph.NodeID][]Message)
+	var senders []graph.NodeID
+	for _, m := range msgs {
+		if len(queues[m.From]) == 0 {
+			senders = append(senders, m.From)
+		}
+		queues[m.From] = append(queues[m.From], m)
+	}
+	sort.Ints(senders)
+	remaining := len(msgs)
+	used := 0
+	for remaining > 0 {
+		used++
+		nw.rounds++
+		recvLoad := make(map[graph.NodeID]int)
+		var delivered []Message
+		for _, s := range senders {
+			q := queues[s]
+			sent := 0
+			kept := q[:0]
+			for _, m := range q {
+				if sent < nw.cap && recvLoad[m.To] < nw.cap {
+					recvLoad[m.To]++
+					sent++
+					delivered = append(delivered, m)
+					remaining--
+				} else {
+					kept = append(kept, m)
+				}
+			}
+			queues[s] = append([]Message(nil), kept...)
+		}
+		if len(delivered) == 0 {
+			return used, errors.New("ncc: scheduler made no progress")
+		}
+		nw.messages += int64(len(delivered))
+		for _, m := range delivered {
+			recv(m)
+		}
+	}
+	return used, nil
+}
+
+// ChargeRounds adds idle rounds (for composed accounting).
+func (nw *Network) ChargeRounds(r int) {
+	if r > 0 {
+		nw.rounds += r
+	}
+}
+
+func log2ceil(n int) int {
+	k := 1
+	for p := 2; p < n; p *= 2 {
+		k++
+	}
+	return k
+}
+
+// DeliverUnscheduled models the raw NCC semantics of §2: every message is
+// transmitted in a single round with no coordination, and each receiver
+// keeps only an adversarially-selected subset of at most Capacity messages
+// (here: the lowest sender IDs, a deterministic adversary) — the rest are
+// dropped. It exists for failure-injection tests that demonstrate why the
+// Lemma 26 aggregation must schedule under the caps; production algorithms
+// use Deliver.
+//
+// Returns the number of dropped messages. Always charges exactly one round.
+func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropped int, err error) {
+	for _, m := range msgs {
+		if m.From < 0 || m.From >= nw.n || m.To < 0 || m.To >= nw.n {
+			return 0, fmt.Errorf("ncc: %w: message %d->%d with n=%d",
+				graph.ErrNodeRange, m.From, m.To, nw.n)
+		}
+	}
+	nw.rounds++
+	// Senders may emit at most cap messages; excess sends are dropped at
+	// the source (in FIFO order).
+	sendLoad := make(map[graph.NodeID]int)
+	byReceiver := make(map[graph.NodeID][]Message)
+	for _, m := range msgs {
+		if sendLoad[m.From] >= nw.cap {
+			dropped++
+			continue
+		}
+		sendLoad[m.From]++
+		byReceiver[m.To] = append(byReceiver[m.To], m)
+	}
+	var receivers []graph.NodeID
+	for to := range byReceiver {
+		receivers = append(receivers, to)
+	}
+	sort.Ints(receivers)
+	for _, to := range receivers {
+		inbox := byReceiver[to]
+		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+		for i, m := range inbox {
+			if i >= nw.cap {
+				dropped += len(inbox) - i
+				break
+			}
+			nw.messages++
+			recv(m)
+		}
+	}
+	return dropped, nil
+}

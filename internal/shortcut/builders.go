@@ -1,0 +1,193 @@
+package shortcut
+
+import (
+	"fmt"
+
+	"distlap/internal/graph"
+)
+
+// TrivialBuilder produces the empty shortcut H_i = ∅: dilation is the
+// maximum part diameter, congestion 0. Optimal whenever parts are already
+// low-diameter (e.g. grid rows), and the baseline every other builder must
+// beat.
+type TrivialBuilder struct{}
+
+var _ Builder = TrivialBuilder{}
+
+// Name implements Builder.
+func (TrivialBuilder) Name() string { return "trivial" }
+
+// Build implements Builder.
+func (TrivialBuilder) Build(g *graph.Graph, parts [][]graph.NodeID) (*Shortcut, error) {
+	s := &Shortcut{
+		Parts:   parts,
+		Extra:   make([][]graph.EdgeID, len(parts)),
+		Builder: "trivial",
+	}
+	if err := Verify(g, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SteinerBuilder is the tree-restricted construction in the spirit of
+// Ghaffari–Haeupler: fix a BFS tree T of G rooted at a low-eccentricity
+// node; H_i is the Steiner subtree of P_i in T (the union of T-paths
+// between members). Dilation is then at most 2·height(T) ≤ 2D̃, and the
+// congestion on each tree edge is the number of parts whose Steiner subtree
+// crosses it, which the certificate measures exactly.
+type SteinerBuilder struct {
+	// Root overrides the tree root; -1 (or zero value via NewSteinerBuilder)
+	// selects a double-sweep center heuristic.
+	Root graph.NodeID
+}
+
+var _ Builder = SteinerBuilder{}
+
+// NewSteinerBuilder returns a SteinerBuilder with automatic root selection.
+func NewSteinerBuilder() SteinerBuilder { return SteinerBuilder{Root: -1} }
+
+// Name implements Builder.
+func (SteinerBuilder) Name() string { return "steiner-tree" }
+
+// Build implements Builder.
+func (b SteinerBuilder) Build(g *graph.Graph, parts [][]graph.NodeID) (*Shortcut, error) {
+	if err := ValidateParts(g, parts); err != nil {
+		return nil, err
+	}
+	root := b.Root
+	if root < 0 || root >= g.N() {
+		root = centerHeuristic(g)
+	}
+	tree := graph.BFSTree(g, root)
+	if len(tree.Members) != g.N() {
+		return nil, fmt.Errorf("shortcut: graph disconnected from root %d", root)
+	}
+	s := &Shortcut{
+		Parts:   parts,
+		Extra:   make([][]graph.EdgeID, len(parts)),
+		Builder: "steiner-tree",
+	}
+	for i, p := range parts {
+		s.Extra[i] = steinerSubtreeEdges(tree, p)
+	}
+	if err := Verify(g, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// steinerSubtreeEdges returns the tree edges of the minimal subtree of tree
+// spanning terminals: every edge on a path from a terminal up to the
+// "meeting point" (the highest node at which all terminal-to-root paths have
+// merged). Implemented by walking each terminal upward, stopping when
+// reaching an already-marked node; the union of walked edges, pruned so the
+// subtree does not extend above the shallowest meeting node, is the Steiner
+// subtree.
+func steinerSubtreeEdges(tree *graph.Tree, terminals []graph.NodeID) []graph.EdgeID {
+	if len(terminals) <= 1 {
+		return nil
+	}
+	// Mark upward paths.
+	marked := make(map[graph.NodeID]bool, len(terminals)*2)
+	var edges []graph.EdgeID
+	parentEdgeOf := make(map[graph.NodeID]graph.EdgeID)
+	for _, t := range terminals {
+		v := t
+		for !marked[v] {
+			marked[v] = true
+			p := tree.Parent[v]
+			if p == -1 {
+				break
+			}
+			parentEdgeOf[v] = tree.ParentEdge[v]
+			v = p
+		}
+	}
+	// The union of upward paths forms a subtree rooted at the highest
+	// marked node; prune marked nodes of degree 1 (within the subtree)
+	// that are not terminals, from the top down, to cut the surplus path
+	// above the meeting point.
+	isTerminal := make(map[graph.NodeID]bool, len(terminals))
+	for _, t := range terminals {
+		isTerminal[t] = true
+	}
+	childCount := make(map[graph.NodeID]int)
+	for v := range parentEdgeOf {
+		if marked[tree.Parent[v]] {
+			childCount[tree.Parent[v]]++
+		}
+	}
+	// The union of upward walks is a subtree containing the root; only a
+	// single chain can extend above the true meeting point. The meeting
+	// node is the minimum-depth marked node that is a terminal or has at
+	// least two marked children; every marked edge strictly above it is
+	// surplus and dropped.
+	meet := graph.NodeID(-1)
+	for v := range marked {
+		if isTerminal[v] || childCount[v] >= 2 {
+			if meet == -1 || tree.Depth[v] < tree.Depth[meet] {
+				meet = v
+			}
+		}
+	}
+	for v, e := range parentEdgeOf {
+		if meet != -1 && tree.Depth[v] <= tree.Depth[meet] {
+			continue // edge from v to its parent lies above the meeting node
+		}
+		edges = append(edges, e)
+	}
+	return edges
+}
+
+// centerHeuristic returns a low-eccentricity node (see graph.ApproxCenter).
+func centerHeuristic(g *graph.Graph) graph.NodeID { return graph.ApproxCenter(g) }
+
+// PortfolioBuilder runs every inner builder and keeps the best (smallest
+// quality) verified shortcut. Its achieved quality is the repository's
+// empirical upper bound on the instance's shortcut quality.
+type PortfolioBuilder struct {
+	Builders []Builder
+}
+
+var _ Builder = PortfolioBuilder{}
+
+// DefaultPortfolio returns the fast portfolio (trivial + Steiner-tree),
+// used on the hot path of the part-wise aggregation solvers.
+func DefaultPortfolio() PortfolioBuilder {
+	return PortfolioBuilder{Builders: []Builder{TrivialBuilder{}, NewSteinerBuilder()}}
+}
+
+// WidePortfolio additionally runs the multi-scale region construction —
+// more construction work for a tighter quality upper bound; used by the
+// shortcut-quality estimator.
+func WidePortfolio() PortfolioBuilder {
+	return PortfolioBuilder{Builders: []Builder{
+		TrivialBuilder{}, NewSteinerBuilder(), NewRegionBuilder(),
+	}}
+}
+
+// Name implements Builder.
+func (PortfolioBuilder) Name() string { return "portfolio" }
+
+// Build implements Builder.
+func (b PortfolioBuilder) Build(g *graph.Graph, parts [][]graph.NodeID) (*Shortcut, error) {
+	var best *Shortcut
+	var firstErr error
+	for _, inner := range b.Builders {
+		s, err := inner.Build(g, parts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", inner.Name(), err)
+			}
+			continue
+		}
+		if best == nil || s.Quality() < best.Quality() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
