@@ -1,0 +1,25 @@
+# Local and CI entry points — .github/workflows/ci.yml runs exactly these
+# targets, so a green `make check` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: check build vet lint test bench
+
+check: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# distlint enforces the determinism and metrics-integrity invariants the
+# simulator's measured round counts rest on (see internal/lint).
+lint:
+	$(GO) run ./cmd/distlint ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

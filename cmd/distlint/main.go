@@ -1,0 +1,103 @@
+// Command distlint runs the repo-specific static-analysis suite
+// (internal/lint) over the module: determinism and metrics-integrity
+// invariants that ordinary go vet cannot express.
+//
+// Usage:
+//
+//	go run ./cmd/distlint ./...
+//	go run ./cmd/distlint -checks maporder,floateq ./internal/...
+//	go run ./cmd/distlint -list
+//
+// Exit status is 0 when clean, 1 when any diagnostic is reported, 2 on
+// usage or load errors. Findings are suppressed line-by-line with
+// //distlint:allow <check> <justification> (see internal/lint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"distlap/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated subset of analyzers to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "distlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v\n", err)
+		return 2
+	}
+	paths, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(paths)
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n",
+			pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "distlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"maporder", "seededrand", "metricsintegrity", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "nosuch", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestFindingsExitCode(t *testing.T) {
+	// The maporder fixture contains seeded violations; pointing the driver
+	// at it must exit 1 and report positions.
+	var out, errb bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/maporder"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture run exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "a.go:10:2: [maporder]") {
+		t.Errorf("missing expected finding in output:\n%s", out.String())
+	}
+}
+
+func TestCleanExitCode(t *testing.T) {
+	// The driver's own package is clean.
+	var out, errb bytes.Buffer
+	if code := run([]string{"."}, &out, &errb); code != 0 {
+		t.Fatalf("clean run exited %d:\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -9,6 +9,7 @@ package apps
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"distlap/internal/congest"
 	"distlap/internal/graph"
@@ -161,7 +162,15 @@ func MST(nw *congest.Network, solver partwise.Solver) (*MSTResult, error) {
 	if uf.Count() > 1 {
 		return nil, ErrDisconnected
 	}
+	// Report edges in sorted ID order: map iteration order would leak into
+	// the result (and into the float Weight sum, whose rounding depends on
+	// addition order).
+	ids := make([]graph.EdgeID, 0, len(chosen))
 	for id := range chosen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		res.Edges = append(res.Edges, id)
 		res.Weight += g.Edge(id).Weight
 	}

@@ -75,7 +75,7 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 	bNorm := math.Sqrt(sums[0])
 	setupRounds := c.Rounds()
 	x := make([]float64, n)
-	if bNorm == 0 {
+	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
 		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds}, nil
 	}
 

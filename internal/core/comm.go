@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"distlap/internal/congest"
 	"distlap/internal/graph"
@@ -203,9 +204,15 @@ func steinerTreeOfGlobal(g *graph.Graph, global *graph.Tree, terminals []graph.N
 			v = global.Parent[v]
 		}
 	}
-	// Root = minimum-depth included node.
-	root := terminals[0]
+	// Root = minimum-depth included node; scan in sorted node order so a
+	// depth tie can never be broken by map iteration order.
+	steiner := make([]graph.NodeID, 0, len(include))
 	for v := range include {
+		steiner = append(steiner, v)
+	}
+	sort.Ints(steiner)
+	root := terminals[0]
+	for _, v := range steiner {
 		if global.Depth[v] < global.Depth[root] {
 			root = v
 		}

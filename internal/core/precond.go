@@ -138,7 +138,7 @@ func (p *TreePrecond) Apply(c Comm, r []float64) ([]float64, error) {
 		return nil, err
 	}
 	z := make([]float64, g.N())
-	for v, y := range pots[0] {
+	for v, y := range pots[0] { //distlint:allow maporder pure scatter: each key writes its own distinct slot exactly once
 		z[v] = y
 	}
 	linalg.CenterMean(z)
@@ -225,7 +225,7 @@ func (p *SchwarzPrecond) Setup(c Comm) error {
 		}
 	}
 	for v := range p.count {
-		if p.count[v] == 0 {
+		if p.count[v] == 0 { //distlint:allow floateq count holds small exact integers; == 0 means uncovered node
 			return fmt.Errorf("core: node %d in no cluster", v)
 		}
 	}
@@ -305,7 +305,7 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	z := make([]float64, g.N())
 	for t, tr := range p.trees {
 		mean := potSum[t][tr.Root] / float64(len(p.clusters[t]))
-		for v, y := range pots[t] {
+		for v, y := range pots[t] { //distlint:allow maporder pure scatter: each key updates its own distinct slot exactly once per tree
 			if p.members[t][v] {
 				z[v] += (y - mean) / p.count[v]
 			}

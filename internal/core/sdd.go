@@ -89,7 +89,7 @@ func SDDResidual(g *graph.Graph, extra []int64, x, b []float64) (float64, error)
 		num += r * r
 		den += b[v] * b[v]
 	}
-	if den == 0 {
+	if den == 0 { //distlint:allow floateq exact-zero guard before dividing by the grounded column sum
 		den = 1
 	}
 	return math.Sqrt(num / den), nil

@@ -83,7 +83,7 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 	bNorm := math.Sqrt(sums[0])
 	setupRounds := c.Rounds()
 	x := make([]float64, n)
-	if bNorm == 0 {
+	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
 		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds}, nil
 	}
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // This file implements the low-diameter / low-stretch substrate the
@@ -147,8 +148,21 @@ func LowStretchTree(g *Graph, seed int64) *Tree {
 		if len(bestEdge) == 0 {
 			break // disconnected graph
 		}
-		for key, id := range bestEdge {
-			q.MustAddEdge(key[0], key[1], g.Edge(id).Weight)
+		// Quotient edge IDs depend on insertion order, and BFS tie-breaks
+		// depend on edge IDs — add edges in sorted key order so the whole
+		// construction replays identically.
+		qkeys := make([][2]int, 0, len(bestEdge))
+		for key := range bestEdge {
+			qkeys = append(qkeys, key)
+		}
+		sort.Slice(qkeys, func(i, j int) bool {
+			if qkeys[i][0] != qkeys[j][0] {
+				return qkeys[i][0] < qkeys[j][0]
+			}
+			return qkeys[i][1] < qkeys[j][1]
+		})
+		for _, key := range qkeys {
+			q.MustAddEdge(key[0], key[1], g.Edge(bestEdge[key]).Weight)
 		}
 		// MPX-decompose the quotient; join each cluster with a BFS tree of
 		// quotient edges, realized by their original representatives.
@@ -187,6 +201,7 @@ func LowStretchTree(g *Graph, seed int64) *Tree {
 	for id := range chosen {
 		edges = append(edges, id)
 	}
+	sort.Ints(edges)
 	return TreeFromEdges(g, edges, ApproxCenter(g))
 }
 

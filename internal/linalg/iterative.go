@@ -81,7 +81,7 @@ func PCG(l *Laplacian, b []float64, m Preconditioner, tol float64, maxIter int) 
 	CenterMean(bb)
 	bNorm := Norm2(bb)
 	x := make([]float64, n)
-	if bNorm == 0 {
+	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
 		return &PCGResult{X: x}, nil
 	}
 	r := Copy(bb)
@@ -143,7 +143,7 @@ func Chebyshev(l *Laplacian, b []float64, lo, hi, tol float64, maxIter int) (*PC
 	CenterMean(bb)
 	bNorm := Norm2(bb)
 	x := make([]float64, n)
-	if bNorm == 0 {
+	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
 		return &PCGResult{X: x}, nil
 	}
 	theta := (hi + lo) / 2

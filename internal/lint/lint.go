@@ -1,0 +1,181 @@
+// Package lint is a repo-specific static-analysis driver, written purely
+// with the standard library's go/ast, go/parser, go/token and go/types. It
+// enforces the two invariants every measured round count in this repository
+// rests on (DESIGN.md "Determinism & verification"):
+//
+//  1. Determinism — identical seeds must produce identical executions, so
+//     no iteration over map order, no global or wall-clock-seeded
+//     randomness (analyzers maporder, seededrand);
+//  2. Metrics integrity — round/message accounting flows only through the
+//     congest/ncc charging primitives, never through direct field writes
+//     (analyzers metricsintegrity, floateq for the residual checks those
+//     metrics gate).
+//
+// Findings can be suppressed with a justification comment on the flagged
+// line or the line directly above it:
+//
+//	//distlint:allow <check>[,<check>...] <why this is safe>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string // analyzer name
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check run over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder(),
+		SeededRand(),
+		MetricsIntegrity(),
+		FloatEq(),
+	}
+}
+
+// AllowDirective is the comment prefix that suppresses findings.
+const AllowDirective = "distlint:allow"
+
+// allowKey identifies a (file, line) position an allow directive covers.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowSet maps covered positions to the set of allowed check names.
+type allowSet map[allowKey]map[string]bool
+
+// collectAllows scans a package's comments for //distlint:allow directives.
+// A directive covers its own line and the line directly below it, so it can
+// sit at the end of the flagged line or alone on the line above.
+func collectAllows(p *Package) allowSet {
+	allows := make(allowSet)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, AllowDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, check := range strings.Split(fields[0], ",") {
+					check = strings.TrimSpace(check)
+					if check == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := allowKey{file: pos.Filename, line: line}
+						if allows[k] == nil {
+							allows[k] = make(map[string]bool)
+						}
+						allows[k][check] = true
+					}
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// Run executes the analyzers over the packages, drops suppressed findings,
+// and returns the survivors sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		allows := collectAllows(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				k := allowKey{file: d.Pos.Filename, line: d.Pos.Line}
+				if allows[k][d.Check] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// diag builds a Diagnostic for a node in p.
+func diag(p *Package, n ast.Node, check, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(n.Pos()),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// underInternal reports whether the package path lies under
+// <module>/internal/ (module path is the first path element sequence before
+// "/internal/").
+func underInternal(path string) bool {
+	return strings.Contains(path, "/internal/")
+}
+
+// underAny reports whether path equals one of the roots or lies beneath one
+// (path-segment-aware prefix match).
+func underAny(path string, roots []string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectWithStack walks f invoking fn with each node and the stack of its
+// ancestors (outermost first, not including n itself). Returning false from
+// fn prunes the subtree.
+func inspectWithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

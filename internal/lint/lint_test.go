@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package under a chosen import path
+// (the path decides which scope rules apply, exactly as for real packages).
+func loadFixture(t *testing.T, loader *Loader, dir, importPath string) *Package {
+	t.Helper()
+	p, err := loader.LoadDir(filepath.Join("testdata", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return p
+}
+
+// fmtDiag renders a diagnostic as "file:line:col check" with the filename
+// reduced to its base, the shape the expectation tables use.
+func fmtDiag(d Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check)
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+
+	tests := []struct {
+		name string
+		dir  string
+		path string // import path assigned to the fixture (controls scoping)
+		want []string
+	}{
+		{
+			name: "maporder",
+			dir:  "maporder",
+			path: "distlap/internal/lintfixture/maporder",
+			want: []string{
+				"a.go:10:2 maporder",
+				"a.go:41:2 maporder",
+			},
+		},
+		{
+			name: "seededrand",
+			dir:  "seededrand",
+			path: "distlap/internal/lintfixture/seededrand",
+			want: []string{
+				"a.go:12:9 seededrand",
+				"a.go:17:2 seededrand",
+				"a.go:22:33 seededrand",
+				"a.go:32:9 seededrand",
+			},
+		},
+		{
+			name: "metricsintegrity",
+			dir:  "metricsintegrity",
+			path: "distlap/internal/lintfixture/metricsintegrity",
+			want: []string{
+				"a.go:13:2 metricsintegrity",
+				"a.go:14:2 metricsintegrity",
+				"a.go:20:9 metricsintegrity",
+				"a.go:25:2 metricsintegrity",
+			},
+		},
+		{
+			// Multi-file package: diagnostics must surface from every file.
+			name: "floateq multi-file",
+			dir:  "floateq",
+			path: "distlap/internal/linalg/lintfixture",
+			want: []string{
+				"a.go:7:9 floateq",
+				"b.go:5:9 floateq",
+				"b.go:10:9 floateq",
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := loadFixture(t, loader, tt.dir, tt.path)
+			got := Run([]*Package{p}, Analyzers())
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(tt.want), got)
+			}
+			for i, d := range got {
+				if fmtDiag(d) != tt.want[i] {
+					t.Errorf("diagnostic %d: got %q, want %q (message: %s)", i, fmtDiag(d), tt.want[i], d.Message)
+				}
+			}
+		})
+	}
+}
+
+// TestAllowSuppression checks //distlint:allow handling: same-line and
+// preceding-line suppressions hold, a wrong check name does not suppress,
+// and an unsuppressed violation in the same file still surfaces.
+func TestAllowSuppression(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p := loadFixture(t, loader, "allow", "distlap/internal/lintfixture/allow")
+
+	// Without suppression handling the analyzer itself sees all four.
+	raw := SeededRand().Run(p)
+	if len(raw) != 4 {
+		t.Fatalf("analyzer alone: got %d diagnostics, want 4:\n%v", len(raw), raw)
+	}
+
+	// The runner drops the two suppressed ones.
+	got := Run([]*Package{p}, Analyzers())
+	want := []string{
+		"a.go:15:9 seededrand", // no allow comment
+		"a.go:26:9 seededrand", // allow names the wrong check
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(want), got)
+	}
+	for i, d := range got {
+		if fmtDiag(d) != want[i] {
+			t.Errorf("diagnostic %d: got %q, want %q", i, fmtDiag(d), want[i])
+		}
+	}
+}
+
+// TestScopingByImportPath checks that analyzers keyed to package paths stay
+// silent outside their scope: the floateq fixture loaded under a
+// non-numerical path, and the maporder fixture outside internal/.
+func TestScopingByImportPath(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	fl := loadFixture(t, loader, "floateq", "distlap/cmd/lintfixturefloat")
+	if got := FloatEq().Run(fl); len(got) != 0 {
+		t.Errorf("floateq outside scope: got %d diagnostics, want 0:\n%v", len(got), got)
+	}
+	mo := loadFixture(t, loader, "maporder", "distlap/cmd/lintfixturemap")
+	if got := MapOrder().Run(mo); len(got) != 0 {
+		t.Errorf("maporder outside internal/: got %d diagnostics, want 0:\n%v", len(got), got)
+	}
+}
+
+// TestRepoIsClean is the self-test the CI gate relies on: the whole module
+// must lint clean (true positives fixed, justified findings suppressed).
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := loader.Expand(loader.Root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	pkgs, err := loader.Load(paths)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("expected to load the whole module, got only %d packages", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,27 @@
+// Package allow is a distlint fixture: one suppressed and one unsuppressed
+// violation of the same check in the same file.
+package allow
+
+import "math/rand"
+
+// Jittered is suppressed by a justified allow on the preceding line.
+func Jittered() int {
+	//distlint:allow seededrand fixture: demonstrates a justified suppression
+	return rand.Intn(3)
+}
+
+// Unjustified has no allow comment: flagged.
+func Unjustified() int {
+	return rand.Intn(3)
+}
+
+// EndOfLine is suppressed by a same-line allow.
+func EndOfLine() int {
+	return rand.Intn(5) //distlint:allow seededrand fixture: same-line suppression
+}
+
+// WrongCheck has an allow for a different analyzer: still flagged.
+func WrongCheck() int {
+	//distlint:allow maporder fixture: wrong check name must not suppress
+	return rand.Intn(7)
+}

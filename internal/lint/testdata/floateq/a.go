@@ -1,0 +1,22 @@
+// Package floateq is a distlint fixture (multi-file): floating-point
+// equality comparisons in numerical code.
+package floateq
+
+// Converged compares a float against zero exactly: flagged.
+func Converged(residual float64) bool {
+	return residual == 0
+}
+
+// IntsOK compares integers: not flagged.
+func IntsOK(a, b int) bool {
+	return a == b
+}
+
+// TolOK compares against a tolerance: not flagged.
+func TolOK(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,11 @@
+package floateq
+
+// IsNaN uses self-inequality: flagged (use math.IsNaN instead).
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Eq32 compares float32 values exactly: flagged.
+func Eq32(a, b float32) bool {
+	return a == b
+}

@@ -1,0 +1,66 @@
+// Package maporder is a distlint fixture: maporder violations alongside the
+// blessed collect-then-sort patterns the analyzer must accept.
+package maporder
+
+import "sort"
+
+// Bad ranges directly over a map: flagged.
+func Bad(m map[int]string) int {
+	total := 0
+	for k := range m { // violation: direct map range
+		total += k
+	}
+	return total
+}
+
+// Collect gathers keys and sorts them before use: not flagged.
+func Collect(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CollectFiltered filters while collecting, then sorts: not flagged.
+func CollectFiltered(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		if m[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CollectNoSort collects but never sorts: flagged.
+func CollectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // violation: collected keys are never sorted
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// HelperSorted uses a package-local sort helper: not flagged.
+func HelperSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(a []int) { sort.Ints(a) }
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(a []int) int {
+	s := 0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}

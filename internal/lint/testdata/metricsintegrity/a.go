@@ -1,0 +1,35 @@
+// Package metricsintegrity is a distlint fixture: direct writes to the
+// congest engine's metrics from outside the owning package.
+package metricsintegrity
+
+import (
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+)
+
+// Fabricate mutates a Metrics copy: both writes flagged.
+func Fabricate(nw *congest.Network) congest.Metrics {
+	m := nw.Metrics()
+	m.Rounds += 5 // violation: compound assignment
+	m.Messages = 0 // violation: plain assignment
+	return m
+}
+
+// Fake constructs a non-zero Metrics literal: flagged.
+func Fake() congest.Metrics {
+	return congest.Metrics{Rounds: 3}
+}
+
+// Inc increments a metrics field through a pointer: flagged.
+func Inc(m *congest.Metrics) {
+	m.Rounds++
+}
+
+// Legit reads metrics and charges rounds through the engine: not flagged.
+func Legit(g *graph.Graph) int {
+	nw := congest.NewNetwork(g, congest.Options{Seed: 1})
+	nw.ChargeRounds(2)
+	var zero congest.Metrics // zero literal: not flagged
+	_ = zero
+	return nw.Rounds() + nw.Metrics().Rounds
+}

@@ -1,0 +1,33 @@
+// Package seededrand is a distlint fixture: global-source and wall-clock
+// randomness violations alongside properly seeded construction.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraw uses the process-global source: flagged.
+func GlobalDraw() int {
+	return rand.Intn(10) // violation: package-level rand
+}
+
+// ShuffleGlobal also draws from the global source: flagged.
+func ShuffleGlobal(a []int) {
+	rand.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+}
+
+// WallClockSeed seeds an RNG from the wall clock: flagged once.
+func WallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// Seeded constructs an RNG from an explicit seed: not flagged.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Clock calls time.Now in a simulator (internal) package: flagged.
+func Clock() time.Time {
+	return time.Now()
+}

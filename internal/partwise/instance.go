@@ -162,7 +162,7 @@ func MinOneCongestedCover(parts [][]graph.NodeID) int {
 	for i := range conflict {
 		conflict[i] = make(map[int]bool)
 	}
-	for _, idxs := range byNode {
+	for _, idxs := range byNode { //distlint:allow maporder idempotent set inserts; the conflict relation is order-independent
 		for a := 0; a < len(idxs); a++ {
 			for b := a + 1; b < len(idxs); b++ {
 				conflict[idxs[a]][idxs[b]] = true
@@ -174,7 +174,7 @@ func MinOneCongestedCover(parts [][]graph.NodeID) int {
 	classes := 0
 	for i := 0; i < k; i++ {
 		used := make(map[int]bool)
-		for j := range conflict[i] {
+		for j := range conflict[i] { //distlint:allow maporder builds the used-color set; set membership is order-independent
 			if j < i {
 				used[color[j]] = true
 			}

@@ -112,8 +112,16 @@ func steinerSubtreeEdges(tree *graph.Tree, terminals []graph.NodeID) []graph.Edg
 	for _, t := range terminals {
 		isTerminal[t] = true
 	}
-	childCount := make(map[graph.NodeID]int)
+	// Walked nodes in sorted order: both the meeting-node scan and the
+	// emitted edge list must not depend on map iteration order (edge-list
+	// order feeds BFS tie-breaking downstream).
+	walked := make([]graph.NodeID, 0, len(parentEdgeOf))
 	for v := range parentEdgeOf {
+		walked = append(walked, v)
+	}
+	sortNodeIDs(walked)
+	childCount := make(map[graph.NodeID]int)
+	for _, v := range walked {
 		if marked[tree.Parent[v]] {
 			childCount[tree.Parent[v]]++
 		}
@@ -124,18 +132,18 @@ func steinerSubtreeEdges(tree *graph.Tree, terminals []graph.NodeID) []graph.Edg
 	// least two marked children; every marked edge strictly above it is
 	// surplus and dropped.
 	meet := graph.NodeID(-1)
-	for v := range marked {
+	for _, v := range keys(marked) {
 		if isTerminal[v] || childCount[v] >= 2 {
 			if meet == -1 || tree.Depth[v] < tree.Depth[meet] {
 				meet = v
 			}
 		}
 	}
-	for v, e := range parentEdgeOf {
+	for _, v := range walked {
 		if meet != -1 && tree.Depth[v] <= tree.Depth[meet] {
 			continue // edge from v to its parent lies above the meeting node
 		}
-		edges = append(edges, e)
+		edges = append(edges, parentEdgeOf[v])
 	}
 	return edges
 }

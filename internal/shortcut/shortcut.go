@@ -131,8 +131,9 @@ func augmentedDiameter(g *graph.Graph, part []graph.NodeID, extra []graph.EdgeID
 	// the 2-approximation upper bound 2·ecc(x), refined by a double sweep
 	// so the reported value is max(ecc(far), min over the two sweeps of
 	// 2·ecc) — still a valid upper bound, at most 2× the truth.
+	ordered := keys(nodes) // sorted once: deterministic BFS input and sweep order
 	sweep := func(root graph.NodeID) (int, int, error) {
-		tr := graph.BFSTreeOfSubgraph(g, keys(nodes), extra, root)
+		tr := graph.BFSTreeOfSubgraph(g, ordered, extra, root)
 		if len(tr.Members) != len(nodes) {
 			return 0, 0, fmt.Errorf("augmented part disconnected: %w", ErrPartDisconnected)
 		}
@@ -147,7 +148,7 @@ func augmentedDiameter(g *graph.Graph, part []graph.NodeID, extra []graph.EdgeID
 	const exactCutoff = 192
 	if len(nodes) <= exactCutoff {
 		diam := 0
-		for v := range nodes {
+		for _, v := range ordered {
 			ecc, _, err := sweep(v)
 			if err != nil {
 				return 0, err

@@ -203,7 +203,7 @@ func (w *WitnessFamily) DecomposeDisjoint() [][]int {
 	for i := range conflict {
 		conflict[i] = make(map[int]bool)
 	}
-	for _, idxs := range byNode {
+	for _, idxs := range byNode { //distlint:allow maporder idempotent set inserts; the conflict relation is order-independent
 		for a := 0; a < len(idxs); a++ {
 			for b := a + 1; b < len(idxs); b++ {
 				if idxs[a] != idxs[b] {
@@ -226,7 +226,7 @@ func (w *WitnessFamily) DecomposeDisjoint() [][]int {
 	colored := make([]bool, k)
 	for _, i := range order {
 		used := make(map[int]bool)
-		for j := range conflict[i] {
+		for j := range conflict[i] { //distlint:allow maporder builds the used-color set; set membership is order-independent
 			if colored[j] {
 				used[color[j]] = true
 			}

@@ -7,6 +7,7 @@ package treewidth
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"distlap/internal/graph"
 	"distlap/internal/layered"
@@ -154,13 +155,20 @@ func Heuristic(g *graph.Graph) *Decomposition {
 	order := make([]graph.NodeID, 0, n)
 	bagOf := make([][]graph.NodeID, 0, n)
 
-	fillIn := func(v graph.NodeID) int {
-		var nb []graph.NodeID
+	// liveNeighbors returns v's non-eliminated neighbors in sorted order;
+	// bags are built from it, so its order must not leak map iteration
+	// order into the decomposition.
+	liveNeighbors := func(v graph.NodeID) []graph.NodeID {
+		nb := make([]graph.NodeID, 0, len(adj[v]))
 		for u := range adj[v] {
 			if !eliminated[u] {
 				nb = append(nb, u)
 			}
 		}
+		sort.Ints(nb)
+		return nb
+	}
+	fillOf := func(nb []graph.NodeID) int {
 		fill := 0
 		for i := 0; i < len(nb); i++ {
 			for j := i + 1; j < len(nb); j++ {
@@ -177,24 +185,14 @@ func Heuristic(g *graph.Graph) *Decomposition {
 			if eliminated[v] {
 				continue
 			}
-			deg := 0
-			for u := range adj[v] {
-				if !eliminated[u] {
-					deg++
-				}
-			}
-			f := fillIn(v)
-			if f < bestFill || (f == bestFill && deg < bestDeg) {
-				best, bestFill, bestDeg = v, f, deg
+			nb := liveNeighbors(v)
+			f := fillOf(nb)
+			if f < bestFill || (f == bestFill && len(nb) < bestDeg) {
+				best, bestFill, bestDeg = v, f, len(nb)
 			}
 		}
 		v := best
-		var nb []graph.NodeID
-		for u := range adj[v] {
-			if !eliminated[u] {
-				nb = append(nb, u)
-			}
-		}
+		nb := liveNeighbors(v)
 		// Make the neighborhood a clique (chordalize).
 		for i := 0; i < len(nb); i++ {
 			for j := i + 1; j < len(nb); j++ {
