@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test bench
+.PHONY: check build vet lint test bench trace-smoke
 
-check: build vet lint test
+check: build vet lint test trace-smoke
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,12 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# End-to-end instrumentation check: run one traced experiment, then render
+# the trace with cmd/simtrace, which exits nonzero unless the per-phase
+# round sums reproduce the engine totals exactly.
+trace-smoke:
+	$(GO) run ./cmd/experiments -quick -run E9a -trace $(CURDIR)/.trace-smoke.jsonl >/dev/null
+	$(GO) run ./cmd/simtrace $(CURDIR)/.trace-smoke.jsonl >/dev/null
+	rm -f $(CURDIR)/.trace-smoke.jsonl
+	@echo trace-smoke: accounting identity holds

@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	experiments                # run every experiment, full sweeps
-//	experiments -run E5,E9b    # run selected experiments
-//	experiments -quick         # reduced sweeps (what the benchmarks use)
+//	experiments                      # run every experiment, full sweeps
+//	experiments -run E5,E9b          # run selected experiments
+//	experiments -quick               # reduced sweeps (what the benchmarks use)
+//	experiments -trace trace.jsonl   # stream the instrumentation to a file
+//
+// The -trace file is a deterministic JSONL event stream (one span per
+// experiment ID, phases nested beneath); render it with cmd/simtrace.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"distlap/internal/experiments"
+	"distlap/internal/simtrace"
 )
 
 func main() {
@@ -30,12 +35,25 @@ func run(args []string) error {
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	quick := fs.Bool("quick", false, "reduced parameter sweeps")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	traceOut := fs.String("trace", "", "write a JSONL instrumentation trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	cfg := experiments.Config{Quick: *quick}
+	var traceFile *os.File
+	var jsonl *simtrace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		jsonl = simtrace.NewJSONL(f)
+		cfg.Trace = jsonl
 	}
 	ids := experiments.IDs()
 	if *runList != "" {
@@ -46,12 +64,21 @@ func run(args []string) error {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tbl, err := experiments.Run(id, *quick)
+		tbl, err := experiments.RunWith(id, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 	return nil
 }

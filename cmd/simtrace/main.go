@@ -1,0 +1,231 @@
+// Command simtrace renders a JSONL instrumentation trace (produced by
+// distlap.NewJSONLTrace or `experiments -trace`) as per-phase round and
+// message tables, and verifies the trace's accounting identity: the
+// exclusive per-phase rounds (plus charges outside any span) must sum
+// exactly to the per-engine round totals. A mismatch is a bug in the
+// instrumentation and exits nonzero.
+//
+// Usage:
+//
+//	simtrace trace.jsonl
+//	simtrace -top 8 trace.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// record is the union of every JSONL record shape (see simtrace.JSONL).
+type record struct {
+	Ev       string `json:"ev"`
+	Path     string `json:"path"`
+	Engine   string `json:"engine"`
+	Name     string `json:"name"`
+	Count    int    `json:"count"`
+	Rounds   int    `json:"rounds"`
+	Messages int64  `json:"messages"`
+	Value    int64  `json:"value"`
+	Edge     int    `json:"edge"`
+	Words    int64  `json:"words"`
+	Bucket   int    `json:"bucket"`
+	Edges    int64  `json:"edges"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	topK := fs.Int("top", 10, "congested edges to show per engine")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: simtrace [-top k] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := render(f, os.Stdout, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// render parses the trace and writes the report; it returns an error when
+// the trace is malformed or the phase/engine round sums disagree.
+func render(r io.Reader, w io.Writer, topK int) error {
+	var phases, engines, counters, edges, hists []record
+	untracked := record{Ev: "untracked"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		switch rec.Ev {
+		case "phase":
+			phases = append(phases, rec)
+		case "engine":
+			engines = append(engines, rec)
+		case "counter":
+			counters = append(counters, rec)
+		case "edge":
+			edges = append(edges, rec)
+		case "loadhist":
+			hists = append(hists, rec)
+		case "untracked":
+			untracked = rec
+		case "begin", "end":
+			// Per-span stream; the Flush aggregates carry the totals.
+		default:
+			return fmt.Errorf("line %d: unknown record %q", line, rec.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(engines) == 0 && len(phases) == 0 {
+		return fmt.Errorf("no summary records — was Flush called on the collector?")
+	}
+
+	engineRounds, engineMsgs := 0, int64(0)
+	for _, e := range engines {
+		engineRounds += e.Rounds
+		engineMsgs += e.Messages
+	}
+	phaseRounds, phaseMsgs := untracked.Rounds, untracked.Messages
+	for _, p := range phases {
+		phaseRounds += p.Rounds
+		phaseMsgs += p.Messages
+	}
+
+	fmt.Fprintf(w, "engines (%d):\n", len(engines))
+	tw := newTabular(w, "engine", "rounds", "messages")
+	for _, e := range engines {
+		tw.row(e.Engine, itoa(e.Rounds), i64toa(e.Messages))
+	}
+	tw.flush()
+
+	fmt.Fprintf(w, "\nphases (%d, exclusive rounds):\n", len(phases))
+	tw = newTabular(w, "phase", "count", "rounds", "rounds%", "messages")
+	for _, p := range phases {
+		tw.row(p.Path, itoa(p.Count), itoa(p.Rounds), pct(p.Rounds, engineRounds), i64toa(p.Messages))
+	}
+	if untracked.Rounds != 0 || untracked.Messages != 0 {
+		tw.row("(untracked)", "", itoa(untracked.Rounds), pct(untracked.Rounds, engineRounds), i64toa(untracked.Messages))
+	}
+	tw.flush()
+
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "\ncounters (%d):\n", len(counters))
+		tw = newTabular(w, "counter", "value")
+		for _, c := range counters {
+			tw.row(c.Name, i64toa(c.Value))
+		}
+		tw.flush()
+	}
+
+	if len(hists) > 0 {
+		fmt.Fprintf(w, "\nedge-load histogram (per engine, bucket = ceil(log2 words)):\n")
+		tw = newTabular(w, "engine", "bucket", "<= words", "edges")
+		for _, h := range hists {
+			tw.row(h.Engine, itoa(h.Bucket), i64toa(int64(1)<<h.Bucket), i64toa(h.Edges))
+		}
+		tw.flush()
+	}
+
+	if len(edges) > 0 {
+		perEngine := make(map[string]int)
+		var shown []record
+		for _, e := range edges {
+			if perEngine[e.Engine] < topK {
+				shown = append(shown, e)
+				perEngine[e.Engine]++
+			}
+		}
+		fmt.Fprintf(w, "\ntop congested directed edges (showing <=%d per engine):\n", topK)
+		tw = newTabular(w, "engine", "dir-edge", "words")
+		for _, e := range shown {
+			tw.row(e.Engine, itoa(e.Edge), i64toa(e.Words))
+		}
+		tw.flush()
+	}
+
+	fmt.Fprintf(w, "\ntotals: phases+untracked = %d rounds / %d messages; engines = %d rounds / %d messages\n",
+		phaseRounds, phaseMsgs, engineRounds, engineMsgs)
+	if phaseRounds != engineRounds || phaseMsgs != engineMsgs {
+		return fmt.Errorf("accounting mismatch: phase sum %d rounds / %d messages vs engine sum %d rounds / %d messages",
+			phaseRounds, phaseMsgs, engineRounds, engineMsgs)
+	}
+	fmt.Fprintln(w, "accounting identity holds: per-phase exclusive charges sum to the engine totals")
+	return nil
+}
+
+// tabular is a minimal aligned-column writer (no dependency on the
+// experiments package: cmds stay leaf packages).
+type tabular struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+func newTabular(w io.Writer, header ...string) *tabular {
+	return &tabular{w: w, header: header}
+}
+
+func (t *tabular) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tabular) flush() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Fprintln(t.w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func itoa(n int) string     { return fmt.Sprintf("%d", n) }
+func i64toa(n int64) string { return fmt.Sprintf("%d", n) }
+
+func pct(part, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}

@@ -6,11 +6,17 @@
 // The facade re-exports the pieces a downstream user needs:
 //
 //   - graph construction (NewGraph, generators via Families),
-//   - the measured communication models (Mode values) and the one-call
-//     distributed solver (Solve),
-//   - the congested part-wise aggregation primitive (AggregateParts), the
-//     paper's central contribution, and
+//   - the measured communication models (Mode values) and the configured
+//     solver entry point (Solver, built via NewSolver and options),
+//   - the congested part-wise aggregation primitive
+//     (Solver.AggregateParts), the paper's central contribution,
+//   - deterministic observability (Collector trace sinks, Metrics), and
 //   - the shortcut-quality estimator (EstimateShortcutQuality).
+//
+// The preferred API is the Solver: construct once with functional options
+// (WithMode, WithEps, WithSeed, WithTrace, WithChebyshev) and call its
+// methods. The package-level functions (Solve, Flow, MaxFlow, ...) are
+// thin wrappers over a default-configured Solver, kept for compatibility.
 //
 // Everything is implemented on a deterministic CONGEST / NCC / HYBRID
 // simulator that physically moves O(log n)-bit messages and measures
@@ -20,7 +26,6 @@ package distlap
 
 import (
 	"distlap/internal/apps"
-	"distlap/internal/congest"
 	"distlap/internal/core"
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
@@ -62,9 +67,11 @@ type Result = core.Result
 // Solve solves the Laplacian system L_g x = b to relative residual eps in
 // the given communication model and reports the measured round complexity.
 // b must sum to (approximately) zero; the solution is mean-centered.
+//
+// Prefer the Solver API: NewSolver(WithMode(mode), WithEps(eps),
+// WithSeed(seed)).Solve(g, b).
 func Solve(g *Graph, b []float64, mode Mode, eps float64, seed int64) (*Result, error) {
-	res, _, err := core.SolveOnGraph(g, b, mode, eps, seed)
-	return res, err
+	return NewSolver(WithMode(mode), WithEps(eps), WithSeed(seed)).Solve(g, b)
 }
 
 // ExactSolve solves L_g x = b directly (dense elimination; ground truth
@@ -98,17 +105,16 @@ var (
 // AggregateParts solves a p-congested part-wise aggregation instance on g
 // in Supported-CONGEST via the paper's layered-graph reduction and returns
 // the per-part aggregates together with the measured round count.
+//
+// Deprecated: the bare round count loses the message totals and per-phase
+// breakdown. Prefer NewSolver(WithSeed(seed)).AggregateParts(g, inst,
+// spec), whose AggregateResult carries full Metrics.
 func AggregateParts(g *Graph, inst *PartwiseInstance, spec AggSpec, seed int64) ([]int64, int, error) {
-	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
-	out, err := partwise.NewLayeredSolver(seed).Solve(nw, inst, spec)
+	res, err := NewSolver(WithSeed(seed)).AggregateParts(g, inst, spec)
 	if err != nil {
 		return nil, 0, err
 	}
-	words := make([]int64, len(out))
-	for i, w := range out {
-		words[i] = int64(w)
-	}
-	return words, nw.Rounds(), nil
+	return res.Values, res.Metrics.Congest.Rounds, nil
 }
 
 // ShortcutQuality is the empirical shortcut-quality bracket [Lower, Upper]
@@ -127,9 +133,10 @@ type MSTResult = apps.MSTResult
 // MinimumSpanningTree computes an MST distributedly with Borůvka phases
 // over part-wise aggregation in Supported-CONGEST, returning the measured
 // round count in the result.
+//
+// Prefer the Solver API: NewSolver(WithSeed(seed)).MinimumSpanningTree(g).
 func MinimumSpanningTree(g *Graph, seed int64) (*MSTResult, error) {
-	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
-	return apps.MST(nw, partwise.NewShortcutSolver())
+	return NewSolver(WithSeed(seed)).MinimumSpanningTree(g)
 }
 
 // ElectricalFlow reports an s-t unit electrical flow (potentials, currents,
@@ -137,15 +144,19 @@ func MinimumSpanningTree(g *Graph, seed int64) (*MSTResult, error) {
 type ElectricalFlow = apps.FlowResult
 
 // Flow computes the unit s-t electrical flow on g in the given model.
+//
+// Prefer the Solver API: NewSolver(WithMode(mode),
+// WithSeed(seed)).Flow(g, s, t).
 func Flow(g *Graph, s, t int, mode Mode, seed int64) (*ElectricalFlow, error) {
-	el := &apps.Electrical{G: g, Mode: mode, Seed: seed}
-	return el.Flow(s, t)
+	return NewSolver(WithMode(mode), WithSeed(seed)).Flow(g, s, t)
 }
 
 // EffectiveResistance returns the s-t effective resistance of g.
+//
+// Prefer the Solver API: NewSolver(WithMode(mode),
+// WithSeed(seed)).EffectiveResistance(g, s, t).
 func EffectiveResistance(g *Graph, s, t int, mode Mode, seed int64) (float64, error) {
-	el := &apps.Electrical{G: g, Mode: mode, Seed: seed}
-	return el.EffectiveResistance(s, t)
+	return NewSolver(WithMode(mode), WithSeed(seed)).EffectiveResistance(g, s, t)
 }
 
 // SolveSDD solves the symmetric diagonally-dominant system
@@ -154,36 +165,40 @@ func EffectiveResistance(g *Graph, s, t int, mode Mode, seed int64) (float64, er
 // diffusion, regularized regression, PageRank-style systems). extra must
 // be nonnegative integers with at least one positive entry; b may have
 // any sum.
+// Prefer the Solver API: NewSolver(WithMode(mode), WithEps(eps),
+// WithSeed(seed)).SolveSDD(g, extra, b).
 func SolveSDD(g *Graph, extra []int64, b []float64, mode Mode, eps float64, seed int64) (*Result, error) {
-	return core.SolveSDD(g, extra, b, mode, eps, seed)
+	return NewSolver(WithMode(mode), WithEps(eps), WithSeed(seed)).SolveSDD(g, extra, b)
 }
 
 // MaxFlow approximates the s-t maximum flow via electrical-flow
 // multiplicative weights (the §5 application: every MWU iteration is one
 // distributed Laplacian solve), returning the approximate value, the exact
 // Edmonds–Karp reference, and the total measured rounds.
+// Prefer the Solver API: NewSolver(WithMode(mode),
+// WithSeed(seed)).MaxFlow(g, s, t, eps).
 func MaxFlow(g *Graph, s, t int, eps float64, mode Mode, seed int64) (*apps.ApproxFlowResult, error) {
-	a := &apps.ApproxMaxFlow{Mode: mode, Epsilon: eps, Seed: seed}
-	return a.Run(g, s, t)
+	return NewSolver(WithMode(mode), WithSeed(seed)).MaxFlow(g, s, t, eps)
 }
 
 // SolveChebyshev solves L_g x = b by distributed Chebyshev iteration — the
 // alternative iteration with no per-iteration global reductions (one
 // residual check every few iterations), which wins on high-diameter
 // topologies. Pass lo = hi = 0 for safe automatic spectral bounds.
+//
+// Prefer the Solver API: NewSolver(WithMode(mode), WithEps(eps),
+// WithSeed(seed), WithChebyshev(lo, hi)).Solve(g, b).
 func SolveChebyshev(g *Graph, b []float64, mode Mode, eps, lo, hi float64, seed int64) (*Result, error) {
-	c, err := core.NewComm(g, mode, seed)
-	if err != nil {
-		return nil, err
-	}
-	return core.SolveChebyshev(c, b, core.ChebyshevOptions{Tol: eps, Lo: lo, Hi: hi})
+	return NewSolver(WithMode(mode), WithEps(eps), WithSeed(seed),
+		WithChebyshev(lo, hi)).Solve(g, b)
 }
 
 // SpectralPartition approximates the Fiedler vector by inverse power
 // iteration (one distributed Laplacian solve per step) and returns the
 // sign-cut bipartition with its measured rounds — spectral clustering
 // through the solver.
+// Prefer the Solver API: NewSolver(WithMode(mode),
+// WithSeed(seed)).SpectralPartition(g).
 func SpectralPartition(g *Graph, mode Mode, seed int64) (*apps.SpectralResult, error) {
-	sp := &apps.SpectralPartitioner{Mode: mode, Seed: seed}
-	return sp.Partition(g)
+	return NewSolver(WithMode(mode), WithSeed(seed)).SpectralPartition(g)
 }

@@ -1,6 +1,6 @@
 // Quickstart: solve a Laplacian system on a 16×16 grid in the almost
 // universally optimal Supported-CONGEST configuration and print the
-// measured round complexity and accuracy.
+// measured round complexity, accuracy, and where the rounds went.
 //
 //	go run ./examples/quickstart
 package main
@@ -27,8 +27,18 @@ func main() {
 	b[0] = 1
 	b[g.N()-1] = -1
 
+	// Configure the solver once; attach an in-memory trace so the run
+	// reports a per-phase round breakdown alongside the totals.
+	trace := distlap.NewInMemoryTrace()
+	solver := distlap.NewSolver(
+		distlap.WithMode(distlap.ModeUniversal),
+		distlap.WithEps(1e-8),
+		distlap.WithSeed(1),
+		distlap.WithTrace(trace),
+	)
+
 	// Solve L x = b to relative residual 1e-8.
-	res, err := distlap.Solve(g, b, distlap.ModeUniversal, 1e-8, 1)
+	res, err := solver.Solve(g, b)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,4 +57,12 @@ func main() {
 		distlap.RelativeLError(g, res.X, xStar))
 	fmt.Printf("corner potential: %+.4f (opposite corner %+.4f)\n",
 		res.X[0], res.X[g.N()-1])
+
+	fmt.Println("\nwhere the rounds went (exclusive per phase):")
+	for _, ph := range res.Metrics.Phases {
+		if ph.Rounds == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s %6d rounds  %8d messages\n", ph.Path, ph.Rounds, ph.Messages)
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"distlap/internal/core"
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
 
 // ApproxMaxFlow approximates the s-t maximum flow with the electrical-flow
@@ -24,6 +25,8 @@ type ApproxMaxFlow struct {
 	Epsilon float64
 	MaxIter int // per feasibility probe (0 = default)
 	Seed    int64
+	// Trace receives every probe solve's instrumentation (nil = Nop).
+	Trace simtrace.Collector
 }
 
 // ApproxFlowResult reports the approximate computation.
@@ -114,7 +117,9 @@ func (a *ApproxMaxFlow) probe(g *graph.Graph, s, t graph.NodeID, f int64) ([]flo
 		b := make([]float64, g.N())
 		b[s] = float64(f)
 		b[t] = -float64(f)
-		sol, _, err := core.SolveOnGraph(rg, b, a.Mode, 1e-8, a.Seed+int64(it))
+		sol, _, err := core.SolveOnGraphWith(rg, b, core.SolveConfig{
+			Mode: a.Mode, Tol: 1e-8, Seed: a.Seed + int64(it), Trace: a.Trace,
+		})
 		if err != nil {
 			return nil, rounds, solves, false, err
 		}

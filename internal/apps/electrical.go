@@ -5,6 +5,7 @@ import (
 
 	"distlap/internal/core"
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
 
 // Electrical computes electrical quantities on a weighted graph through the
@@ -15,6 +16,8 @@ type Electrical struct {
 	Mode core.Mode
 	Tol  float64
 	Seed int64
+	// Trace receives the underlying solve's instrumentation (nil = Nop).
+	Trace simtrace.Collector
 }
 
 // FlowResult reports an s-t electrical flow computation.
@@ -24,6 +27,9 @@ type FlowResult struct {
 	Resistance  float64   // effective resistance x_s − x_t
 	Rounds      int
 	Iterations  int
+	// Metrics is the structured communication cost of the underlying
+	// solve; prefer it over the bare Rounds count.
+	Metrics core.Metrics
 }
 
 // Flow solves the unit s-t electrical flow.
@@ -42,7 +48,9 @@ func (el *Electrical) Flow(s, t graph.NodeID) (*FlowResult, error) {
 	b := make([]float64, n)
 	b[s] = 1
 	b[t] = -1
-	res, _, err := core.SolveOnGraph(el.G, b, el.Mode, tol, el.Seed)
+	res, _, err := core.SolveOnGraphWith(el.G, b, core.SolveConfig{
+		Mode: el.Mode, Tol: tol, Seed: el.Seed, Trace: el.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +59,7 @@ func (el *Electrical) Flow(s, t graph.NodeID) (*FlowResult, error) {
 		Resistance: res.X[s] - res.X[t],
 		Rounds:     res.Rounds,
 		Iterations: res.Iterations,
+		Metrics:    res.Metrics,
 	}
 	out.EdgeCurrent = make([]float64, el.G.M())
 	for id, e := range el.G.Edges() {

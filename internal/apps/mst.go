@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"distlap/internal/congest"
+	"distlap/internal/core"
 	"distlap/internal/graph"
 	"distlap/internal/partwise"
 )
@@ -22,6 +23,10 @@ type MSTResult struct {
 	Weight int64
 	Phases int
 	Rounds int
+	// Metrics is the structured communication cost of the run (engine
+	// totals plus the per-phase breakdown when traced); prefer it over the
+	// bare Rounds count.
+	Metrics core.Metrics
 }
 
 // ErrDisconnected is returned when the input graph is not connected.
@@ -62,6 +67,9 @@ func MST(nw *congest.Network, solver partwise.Solver) (*MSTResult, error) {
 	chosen := make(map[graph.EdgeID]bool)
 	res := &MSTResult{}
 
+	tr := nw.Trace()
+	tr.Begin("mst")
+	defer tr.End("mst")
 	for phase := 0; uf.Count() > 1; phase++ {
 		if phase > 2*log2(n)+4 {
 			return nil, ErrDisconnected
@@ -175,6 +183,10 @@ func MST(nw *congest.Network, solver partwise.Solver) (*MSTResult, error) {
 		res.Weight += g.Edge(id).Weight
 	}
 	res.Rounds = nw.Rounds()
+	res.Metrics = core.Metrics{
+		Congest: core.CongestEngineMetrics(nw),
+		Phases:  core.PhasesOf(nw.Trace()),
+	}
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"distlap/internal/core"
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
+	"distlap/internal/simtrace"
 )
 
 // SpectralPartitioner approximates the Fiedler vector (the eigenvector of
@@ -23,6 +24,8 @@ type SpectralPartitioner struct {
 	// Iterations of inverse power iteration (default 12 — inverse
 	// iteration converges geometrically in λ₂/λ₃).
 	Iterations int
+	// Trace receives every solve's instrumentation (nil = Nop).
+	Trace simtrace.Collector
 }
 
 // SpectralResult reports the approximate Fiedler computation.
@@ -60,7 +63,9 @@ func (sp *SpectralPartitioner) Partition(g *graph.Graph) (*SpectralResult, error
 	}
 	res := &SpectralResult{}
 	for it := 0; it < iters; it++ {
-		sol, _, err := core.SolveOnGraph(g, x, sp.Mode, tol, sp.Seed+int64(it))
+		sol, _, err := core.SolveOnGraphWith(g, x, core.SolveConfig{
+			Mode: sp.Mode, Tol: tol, Seed: sp.Seed + int64(it), Trace: sp.Trace,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("apps: inverse iteration %d: %w", it, err)
 		}

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
 
 // Word is the payload of a single CONGEST message: an O(log n)-bit value.
@@ -53,6 +54,18 @@ type Options struct {
 	// tree-aggregation scheduler (the Ghaffari'15-style scheduling
 	// ablation; see DESIGN.md §4).
 	DisableRandomDelays bool
+
+	// Trace receives instrumentation events (nil selects simtrace.Nop).
+	// The collector observes charging; it never influences scheduling, the
+	// RNG, or the metrics themselves.
+	Trace simtrace.Collector
+
+	// TraceEngine overrides the engine label under which this network's
+	// charges are recorded ("" selects simtrace.EngineCongest). Layered
+	// sub-networks (Lemma 16 simulations) pass simtrace.EngineLayered so
+	// their internally-simulated rounds are distinguishable from rounds
+	// charged on the base network.
+	TraceEngine string
 }
 
 // Network is a CONGEST communication network over a fixed graph.
@@ -63,6 +76,8 @@ type Network struct {
 	rng     *rand.Rand
 	metrics Metrics
 	load    []int64 // per directed edge: total words carried
+	trace   simtrace.Collector
+	engine  string // simtrace engine label for this network's charges
 }
 
 // ErrNoTrees is returned by tree primitives invoked with no work.
@@ -70,11 +85,17 @@ var ErrNoTrees = errors.New("congest: no trees given")
 
 // NewNetwork returns a network over g with the given options.
 func NewNetwork(g *graph.Graph, opts Options) *Network {
+	engine := opts.TraceEngine
+	if engine == "" {
+		engine = simtrace.EngineCongest
+	}
 	return &Network{
-		g:    g,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-		load: make([]int64, 2*g.M()),
+		g:      g,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		load:   make([]int64, 2*g.M()),
+		trace:  simtrace.OrNop(opts.Trace),
+		engine: engine,
 	}
 }
 
@@ -90,6 +111,10 @@ func (nw *Network) Metrics() Metrics { return nw.metrics }
 // Rounds returns the number of rounds elapsed so far.
 func (nw *Network) Rounds() int { return nw.metrics.Rounds }
 
+// Trace returns the network's trace collector (never nil). Algorithm layers
+// use it to open phase spans around the primitives they invoke.
+func (nw *Network) Trace() simtrace.Collector { return nw.trace }
+
 // Reset zeroes the accumulated metrics (the topology is unchanged).
 func (nw *Network) Reset() {
 	nw.metrics = Metrics{}
@@ -103,6 +128,7 @@ func (nw *Network) Reset() {
 func (nw *Network) ChargeRounds(r int) {
 	if r > 0 {
 		nw.metrics.Rounds += r
+		nw.trace.Rounds(nw.engine, r)
 	}
 }
 
@@ -122,6 +148,7 @@ func (nw *Network) chargeEdge(de int) {
 	if l := int(nw.load[de]); l > nw.metrics.MaxEdgeLoad {
 		nw.metrics.MaxEdgeLoad = l
 	}
+	nw.trace.Messages(nw.engine, de, 1)
 }
 
 // Exchange executes one synchronous round in which every node may send one
@@ -154,6 +181,7 @@ func (nw *Network) Exchange(
 		}
 	}
 	nw.metrics.Rounds++
+	nw.trace.Rounds(nw.engine, 1)
 	for _, d := range deliveries {
 		recv(d.to, d.half, d.w)
 	}
@@ -178,6 +206,8 @@ func (nw *Network) ExchangeK(k int,
 // it charges ecc(root)+1 rounds. The returned structure matches graph.BFS.
 // This grounds the cost model: distributed BFS costs O(D) rounds.
 func (nw *Network) BFS(root graph.NodeID) *graph.BFSResult {
+	nw.trace.Begin("bfs")
+	defer nw.trace.End("bfs")
 	n := nw.g.N()
 	res := &graph.BFSResult{
 		Root:       root,

@@ -110,6 +110,7 @@ func (s *treeSched) step(deliver func(ps pendingSend)) bool {
 	s.active = append([]int(nil), newActive...)
 	s.dirty = true
 	s.nw.metrics.Rounds++
+	s.nw.trace.Rounds(s.nw.engine, 1)
 	for _, ps := range delivered {
 		deliver(ps)
 	}

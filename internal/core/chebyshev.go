@@ -54,9 +54,15 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 		maxIter = int(math.Sqrt(hi/lo)*math.Log(2/opts.Tol)) + 16
 	}
 
+	tr := c.Tracer()
+	tr.Begin("chebyshev")
+	defer tr.End("chebyshev")
+
 	// Center b and compute its norm (two global reductions).
+	tr.Begin("norms")
 	sums, err := c.GlobalSums(b)
 	if err != nil {
+		tr.End("norms")
 		return nil, err
 	}
 	bc := linalg.Copy(b)
@@ -69,6 +75,7 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 		bsq[i] = bc[i] * bc[i]
 	}
 	sums, err = c.GlobalSums(bsq)
+	tr.End("norms")
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +83,8 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 	setupRounds := c.Rounds()
 	x := make([]float64, n)
 	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
-		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds}, nil
+		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds,
+			Metrics: c.CollectMetrics()}, nil
 	}
 
 	theta := (hi + lo) / 2
@@ -103,7 +111,9 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 			}
 		}
 		linalg.AXPY(alpha, p, x)
+		tr.Begin("matvec")
 		lx, err := c.MatVecLaplacian(x)
+		tr.End("matvec")
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +125,9 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 		for i := range r {
 			rsq[i] = r[i] * r[i]
 		}
+		tr.Begin("reduce")
 		pair, err := c.GlobalSums(rsq)
+		tr.End("reduce")
 		if err != nil {
 			return nil, err
 		}
@@ -124,6 +136,7 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 			return &Result{
 				X: x, Iterations: it, Residual: res,
 				Rounds: c.Rounds(), SetupRounds: setupRounds,
+				Metrics: c.CollectMetrics(),
 			}, nil
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"distlap/internal/graph"
 	"distlap/internal/ncc"
 	"distlap/internal/partwise"
+	"distlap/internal/simtrace"
 )
 
 // Comm abstracts the communication substrate the distributed solver runs
@@ -38,6 +39,13 @@ type Comm interface {
 	// Rounds returns the total rounds charged so far across the comm's
 	// underlying engines.
 	Rounds() int
+	// Tracer returns the trace collector the comm's engines emit into
+	// (never nil; simtrace.Nop when untraced). Solver layers use it to
+	// open phase spans around the primitives they invoke.
+	Tracer() simtrace.Collector
+	// CollectMetrics snapshots the accumulated communication cost of the
+	// comm's engines.
+	CollectMetrics() Metrics
 	// MatVecLaplacian computes y = L x with one neighbor-exchange round.
 	MatVecLaplacian(x []float64) ([]float64, error)
 	// GlobalSums returns the global sums of the given per-node vectors,
@@ -118,6 +126,14 @@ func (c *CongestComm) Graph() *graph.Graph { return c.nw.Graph() }
 
 // Rounds implements Comm.
 func (c *CongestComm) Rounds() int { return c.nw.Rounds() }
+
+// Tracer implements Comm.
+func (c *CongestComm) Tracer() simtrace.Collector { return c.nw.Trace() }
+
+// CollectMetrics implements Comm.
+func (c *CongestComm) CollectMetrics() Metrics {
+	return Metrics{Congest: CongestEngineMetrics(c.nw), Phases: PhasesOf(c.nw.Trace())}
+}
 
 // Network exposes the underlying engine (for metrics in experiments).
 func (c *CongestComm) Network() *congest.Network { return c.nw }
@@ -297,13 +313,18 @@ type HybridComm struct {
 
 var _ Comm = (*HybridComm)(nil)
 
-// NewHybridComm builds a hybrid comm over the same node set.
+// NewHybridComm builds a hybrid comm over the same node set. The NCC engine
+// shares the CONGEST network's trace collector, so a single trace covers
+// both engines' charges.
 func NewHybridComm(nw *congest.Network) (*HybridComm, error) {
 	local, err := NewCongestComm(nw, false)
 	if err != nil {
 		return nil, err
 	}
-	return &HybridComm{local: local, global: ncc.NewNetwork(nw.Graph().N())}, nil
+	return &HybridComm{
+		local:  local,
+		global: ncc.NewNetworkWith(nw.Graph().N(), nw.Trace()),
+	}, nil
 }
 
 // Name implements Comm.
@@ -314,6 +335,17 @@ func (h *HybridComm) Graph() *graph.Graph { return h.local.Graph() }
 
 // Rounds implements Comm.
 func (h *HybridComm) Rounds() int { return h.local.Rounds() + h.global.Rounds() }
+
+// Tracer implements Comm.
+func (h *HybridComm) Tracer() simtrace.Collector { return h.local.Tracer() }
+
+// CollectMetrics implements Comm.
+func (h *HybridComm) CollectMetrics() Metrics {
+	nccM := NCCEngineMetrics(h.global)
+	m := h.local.CollectMetrics()
+	m.NCC = &nccM
+	return m
+}
 
 // NCC exposes the global engine (metrics).
 func (h *HybridComm) NCC() *ncc.Network { return h.global }

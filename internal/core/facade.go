@@ -5,28 +5,49 @@ import (
 
 	"distlap/internal/congest"
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
+
+// CommConfig configures NewCommWith.
+type CommConfig struct {
+	Mode Mode
+	Seed int64
+	// Trace receives the run's instrumentation events (nil = Nop). The
+	// collector is shared by every engine the comm builds (the CONGEST
+	// network and, in hybrid mode, the NCC clique).
+	Trace simtrace.Collector
+}
 
 // NewComm builds the standard communication substrate for a mode.
 func NewComm(g *graph.Graph, mode Mode, seed int64) (Comm, error) {
-	switch mode {
+	return NewCommWith(g, CommConfig{Mode: mode, Seed: seed})
+}
+
+// NewCommWith builds the communication substrate for a config. Rounds paid
+// during construction (the ModeCongest global BFS) are attributed to the
+// "comm-setup" phase.
+func NewCommWith(g *graph.Graph, cfg CommConfig) (Comm, error) {
+	tr := simtrace.OrNop(cfg.Trace)
+	tr.Begin("comm-setup")
+	defer tr.End("comm-setup")
+	switch cfg.Mode {
 	case ModeUniversal:
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
 		return NewCongestComm(nw, false)
 	case ModeCongest:
-		nw := congest.NewNetwork(g, congest.Options{Supported: false, Seed: seed})
+		nw := congest.NewNetwork(g, congest.Options{Supported: false, Seed: cfg.Seed, Trace: tr})
 		return NewCongestComm(nw, false)
 	case ModeBaseline:
 		// Supported, so the comparison against ModeUniversal isolates the
 		// aggregation structure (global tree vs per-cluster) rather than
 		// construction costs.
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
 		return NewCongestComm(nw, true)
 	case ModeHybrid:
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
 		return NewHybridComm(nw)
 	default:
-		return nil, fmt.Errorf("core: unknown mode %q", mode)
+		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
 	}
 }
 
@@ -41,16 +62,31 @@ func DefaultPrecond(g *graph.Graph, seed int64) Preconditioner {
 	return NewSchwarzPrecond(size, 2, seed)
 }
 
+// SolveConfig configures SolveOnGraphWith.
+type SolveConfig struct {
+	Mode Mode
+	Tol  float64
+	Seed int64
+	// Trace receives the run's instrumentation events (nil = Nop).
+	Trace simtrace.Collector
+}
+
 // SolveOnGraph is the one-call entry point used by the CLIs, examples and
 // benchmarks: build the mode's comm, solve L x = b to tolerance tol with
 // the default preconditioner, and return both the result and the comm (for
 // metric extraction).
 func SolveOnGraph(g *graph.Graph, b []float64, mode Mode, tol float64, seed int64) (*Result, Comm, error) {
-	c, err := NewComm(g, mode, seed)
+	return SolveOnGraphWith(g, b, SolveConfig{Mode: mode, Tol: tol, Seed: seed})
+}
+
+// SolveOnGraphWith is SolveOnGraph taking a full config (trace collector
+// included).
+func SolveOnGraphWith(g *graph.Graph, b []float64, cfg SolveConfig) (*Result, Comm, error) {
+	c, err := NewCommWith(g, CommConfig{Mode: cfg.Mode, Seed: cfg.Seed, Trace: cfg.Trace})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := Solve(c, b, Options{Tol: tol, Precond: DefaultPrecond(g, seed)})
+	res, err := Solve(c, b, Options{Tol: cfg.Tol, Precond: DefaultPrecond(g, cfg.Seed)})
 	if err != nil {
 		return nil, nil, err
 	}

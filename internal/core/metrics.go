@@ -1,0 +1,63 @@
+package core
+
+import (
+	"distlap/internal/congest"
+	"distlap/internal/ncc"
+	"distlap/internal/simtrace"
+)
+
+// EngineMetrics is one engine's accumulated communication cost. It mirrors
+// congest.Metrics but belongs to the result layer, so results can carry
+// snapshots without granting anyone write access to engine state.
+type EngineMetrics struct {
+	Rounds      int   // synchronous rounds elapsed
+	Messages    int64 // word-messages delivered
+	MaxEdgeLoad int   // max words over any directed edge (0 where inapplicable)
+}
+
+// Metrics is the shared result-metrics shape of the facade: the per-engine
+// communication totals of a run, plus — when a queryable trace collector was
+// attached — the per-phase breakdown. It replaces the bare-int round counts
+// earlier result types exposed.
+type Metrics struct {
+	// Congest is the CONGEST engine's accumulated cost (always present).
+	Congest EngineMetrics
+	// NCC is the node-capacitated-clique engine's cost; nil outside
+	// hybrid-mode runs.
+	NCC *EngineMetrics
+	// Phases is the exclusive per-phase attribution of every round and
+	// message, sorted by phase path; nil unless the run was traced with a
+	// collector implementing simtrace.PhaseQuerier.
+	Phases []simtrace.PhaseStat
+}
+
+// TotalRounds returns the rounds summed across engines — the comparable
+// round complexity of the run (matches Comm.Rounds at snapshot time).
+func (m Metrics) TotalRounds() int {
+	total := m.Congest.Rounds
+	if m.NCC != nil {
+		total += m.NCC.Rounds
+	}
+	return total
+}
+
+// CongestEngineMetrics snapshots a CONGEST network's metrics.
+func CongestEngineMetrics(nw *congest.Network) EngineMetrics {
+	em := nw.Metrics()
+	return EngineMetrics{Rounds: em.Rounds, Messages: em.Messages, MaxEdgeLoad: em.MaxEdgeLoad}
+}
+
+// NCCEngineMetrics snapshots an NCC network's metrics (the clique has no
+// per-edge identity, so MaxEdgeLoad is 0).
+func NCCEngineMetrics(nw *ncc.Network) EngineMetrics {
+	return EngineMetrics{Rounds: nw.Rounds(), Messages: nw.Messages()}
+}
+
+// PhasesOf extracts the per-phase breakdown from a collector if it is
+// queryable (InMemory, JSONL), nil otherwise (Nop, foreign sinks).
+func PhasesOf(tr simtrace.Collector) []simtrace.PhaseStat {
+	if q, ok := tr.(simtrace.PhaseQuerier); ok {
+		return q.Phases()
+	}
+	return nil
+}

@@ -127,6 +127,8 @@ func (p *TreePrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	// tree Laplacian's range; recenter defensively anyway.
 	rc := linalg.Copy(r)
 	linalg.CenterMean(rc)
+	c.Tracer().Begin("tree-sweep")
+	defer c.Tracer().End("tree-sweep")
 	pots, err := c.TreeUpDown([]*graph.Tree{p.tree},
 		func(_ int, v graph.NodeID) float64 { return rc[v] },
 		func(_ int, _ float64) float64 { return 0 },
@@ -210,7 +212,9 @@ func (p *SchwarzPrecond) Setup(c Comm) error {
 		}
 		p.clusters = append(p.clusters, parts...)
 	}
+	c.Tracer().Begin("cluster-trees")
 	trees, err := c.ClusterTrees(p.clusters)
+	c.Tracer().End("cluster-trees")
 	if err != nil {
 		return err
 	}
@@ -250,9 +254,11 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	if len(r) != g.N() {
 		return nil, linalg.ErrDimension
 	}
+	tr := c.Tracer()
 	// Restrict-and-center the residual per cluster so each local system is
 	// solvable: leaf value = r(v) − mean_cluster(r) for members, 0 for
 	// relay nodes (naive-mode Steiner trees contain relays).
+	tr.Begin("restrict")
 	clusterSum, err := c.TreeUpDown(p.trees,
 		func(t int, v graph.NodeID) float64 {
 			if p.members[t][v] {
@@ -263,6 +269,7 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 		func(_ int, total float64) float64 { return total },
 		func(_ int, _, _ graph.NodeID, parentVal, _ float64) float64 { return parentVal },
 	)
+	tr.End("restrict")
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +277,7 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	for t, tr := range p.trees {
 		means[t] = clusterSum[t][tr.Root] / float64(len(p.clusters[t]))
 	}
+	tr.Begin("sweep")
 	pots, err := c.TreeUpDown(p.trees,
 		func(t int, v graph.NodeID) float64 {
 			if p.members[t][v] {
@@ -283,12 +291,14 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 			return parentVal + childSubtree/w
 		},
 	)
+	tr.End("sweep")
 	if err != nil {
 		return nil, err
 	}
 	// Center each cluster's potentials over its members. The member
 	// potential sums travel through one more (charged) up-and-broadcast
 	// sweep so every member learns its cluster's mean.
+	tr.Begin("center")
 	potSum, err := c.TreeUpDown(p.trees,
 		func(t int, v graph.NodeID) float64 {
 			if p.members[t][v] {
@@ -299,6 +309,7 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 		func(_ int, total float64) float64 { return total },
 		func(_ int, _, _ graph.NodeID, parentVal, _ float64) float64 { return parentVal },
 	)
+	tr.End("center")
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,11 @@ import (
 // the system is a plain Laplacian — use Solve). Unlike Laplacian systems,
 // b may have any sum.
 func SolveSDD(g *graph.Graph, extra []int64, b []float64, mode Mode, tol float64, seed int64) (*Result, error) {
+	return SolveSDDWith(g, extra, b, SolveConfig{Mode: mode, Tol: tol, Seed: seed})
+}
+
+// SolveSDDWith is SolveSDD taking a full config (trace collector included).
+func SolveSDDWith(g *graph.Graph, extra []int64, b []float64, cfg SolveConfig) (*Result, error) {
 	n := g.N()
 	if len(extra) != n || len(b) != n {
 		return nil, fmt.Errorf("core: extra/b have %d/%d entries for n=%d", len(extra), len(b), n)
@@ -59,7 +64,7 @@ func SolveSDD(g *graph.Graph, extra []int64, b []float64, mode Mode, tol float64
 	}
 	bAug[z] = -sum
 
-	res, _, err := SolveOnGraph(aug, bAug, mode, tol, seed)
+	res, _, err := SolveOnGraphWith(aug, bAug, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,11 @@ type Result struct {
 	Residual    float64 // achieved relative residual
 	Rounds      int     // total communication rounds measured on the comm
 	SetupRounds int     // rounds consumed before the first iteration
+	// Metrics is the structured communication cost of the run: per-engine
+	// totals plus the per-phase breakdown when the comm was traced with a
+	// queryable collector. Rounds == Metrics.TotalRounds(); prefer Metrics
+	// over the bare counters above.
+	Metrics Metrics
 }
 
 // ErrBadTol is returned for nonsensical tolerances.
@@ -57,14 +62,22 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 	if pre == nil {
 		pre = &IdentityPrecond{}
 	}
-	if err := pre.Setup(c); err != nil {
+	tr := c.Tracer()
+	tr.Begin("solve")
+	defer tr.End("solve")
+	tr.Begin("precond-setup")
+	err := pre.Setup(c)
+	tr.End("precond-setup")
+	if err != nil {
 		return nil, fmt.Errorf("core: precond setup: %w", err)
 	}
 
 	// Center b: one global sum, then a local subtraction (n is common
 	// knowledge).
+	tr.Begin("norms")
 	sums, err := c.GlobalSums(b)
 	if err != nil {
+		tr.End("norms")
 		return nil, err
 	}
 	bc := linalg.Copy(b)
@@ -77,6 +90,7 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 		bsq[i] = bc[i] * bc[i]
 	}
 	sums, err = c.GlobalSums(bsq)
+	tr.End("norms")
 	if err != nil {
 		return nil, err
 	}
@@ -84,25 +98,34 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 	setupRounds := c.Rounds()
 	x := make([]float64, n)
 	if bNorm == 0 { //distlint:allow floateq exact-zero guard: b == 0 has the exact solution x == 0
-		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds}, nil
+		return &Result{X: x, Rounds: c.Rounds(), SetupRounds: setupRounds,
+			Metrics: c.CollectMetrics()}, nil
 	}
 
 	r := linalg.Copy(bc)
+	tr.Begin("precond")
 	z, err := pre.Apply(c, r)
+	tr.End("precond")
 	if err != nil {
 		return nil, err
 	}
 	p := linalg.Copy(z)
+	tr.Begin("reduce")
 	rz, err := dotVia(c, r, z)
+	tr.End("reduce")
 	if err != nil {
 		return nil, err
 	}
 	for it := 1; it <= maxIter; it++ {
+		tr.Begin("matvec")
 		lp, err := c.MatVecLaplacian(p)
+		tr.End("matvec")
 		if err != nil {
 			return nil, err
 		}
+		tr.Begin("reduce")
 		plp, err := dotVia(c, p, lp)
+		tr.End("reduce")
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +137,9 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 		linalg.AXPY(alpha, p, x)
 		linalg.AXPY(-alpha, lp, r)
 
+		tr.Begin("precond")
 		z, err = pre.Apply(c, r)
+		tr.End("precond")
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +151,9 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 			rr[i] = r[i] * r[i]
 			rzv[i] = r[i] * z[i]
 		}
+		tr.Begin("reduce")
 		pair, err := c.GlobalSums(rr, rzv)
+		tr.End("reduce")
 		if err != nil {
 			return nil, err
 		}
@@ -136,6 +163,7 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 			return &Result{
 				X: x, Iterations: it, Residual: res,
 				Rounds: c.Rounds(), SetupRounds: setupRounds,
+				Metrics: c.CollectMetrics(),
 			}, nil
 		}
 		rzNew := pair[1]

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"distlap/internal/simtrace"
 )
 
 // Table is one experiment's output.
@@ -64,9 +66,19 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Runner executes one experiment. quick shrinks the sweep for benchmarks
-// and smoke tests.
-type Runner func(quick bool) (*Table, error)
+// Config configures an experiment run.
+type Config struct {
+	// Quick shrinks the sweep for benchmarks and smoke tests.
+	Quick bool
+	// Trace receives the instrumentation of every network and solve the
+	// experiment performs (nil = Nop). RunWith additionally wraps the whole
+	// experiment in a span named after its ID, so per-experiment phase
+	// breakdowns come out of one multi-experiment trace.
+	Trace simtrace.Collector
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (*Table, error)
 
 // Registry maps experiment IDs to runners.
 func Registry() map[string]Runner {
@@ -117,14 +129,23 @@ func sortKey(id string) int {
 	return n
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID (no trace).
 func Run(id string, quick bool) (*Table, error) {
+	return RunWith(id, Config{Quick: quick})
+}
+
+// RunWith executes the experiment with the given ID under a config,
+// wrapping it in a trace span named after the ID.
+func RunWith(id string, cfg Config) (*Table, error) {
 	r, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	return r(quick)
+	tr := simtrace.OrNop(cfg.Trace)
+	tr.Begin(id)
+	defer tr.End(id)
+	return r(cfg)
 }
 
 func itoa(n int) string { return fmt.Sprintf("%d", n) }

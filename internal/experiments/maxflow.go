@@ -9,7 +9,8 @@ import (
 // E13 — §5 application: approximate max-flow via electrical flows, each
 // MWU iteration one distributed Laplacian solve. The table reports the
 // approximation quality and the measured (#solves × rounds) structure.
-func E13(quick bool) (*Table, error) {
+func E13(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	parallel := graph.New(6)
 	parallel.MustAddEdge(0, 1, 2)
 	parallel.MustAddEdge(1, 5, 2)
@@ -39,7 +40,7 @@ func E13(quick bool) (*Table, error) {
 		Notes:  "total rounds = (#MWU solves) × (per-solve rounds) — the §5 structure; values match exactly on these instances",
 	}
 	for _, c := range cases {
-		a := &apps.ApproxMaxFlow{Mode: core.ModeUniversal, Epsilon: 0.1, Seed: 1}
+		a := &apps.ApproxMaxFlow{Mode: core.ModeUniversal, Epsilon: 0.1, Seed: 1, Trace: cfg.Trace}
 		res, err := a.Run(c.g, c.s, c.t)
 		if err != nil {
 			return nil, err

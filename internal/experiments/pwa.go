@@ -7,13 +7,14 @@ import (
 	"distlap/internal/graph"
 	"distlap/internal/ncc"
 	"distlap/internal/partwise"
+	"distlap/internal/simtrace"
 	"distlap/internal/treewidth"
 )
 
 // congestedRounds runs the layered solver on a p-congested instance and
 // returns the measured rounds (validating the aggregates).
-func congestedRounds(g *graph.Graph, inst *partwise.Instance, seed int64) (int, error) {
-	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed})
+func congestedRounds(g *graph.Graph, inst *partwise.Instance, seed int64, tr simtrace.Collector) (int, error) {
+	nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: seed, Trace: tr})
 	out, err := partwise.NewLayeredSolver(seed).Solve(nw, inst, partwise.Min)
 	if err != nil {
 		return 0, err
@@ -29,7 +30,8 @@ func congestedRounds(g *graph.Graph, inst *partwise.Instance, seed int64) (int, 
 
 // E6 — Corollary 20: p-congested PWA rounds on bounded-treewidth graphs
 // against the p²·tw·D reference scaling.
-func E6(quick bool) (*Table, error) {
+func E6(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -55,7 +57,7 @@ func E6(quick bool) (*Table, error) {
 		d := graph.Diameter(f.g)
 		for _, p := range ps {
 			inst := partwise.RandomCongestedInstance(f.g, p, 4, 11)
-			rounds, err := congestedRounds(f.g, inst, 5)
+			rounds, err := congestedRounds(f.g, inst, 5, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
@@ -70,7 +72,8 @@ func E6(quick bool) (*Table, error) {
 
 // E7 — Corollary 23: p-congested PWA on general graphs scales ~linearly in
 // p (Supported-CONGEST), versus the naive per-layer decomposition.
-func E7(quick bool) (*Table, error) {
+func E7(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -95,11 +98,11 @@ func E7(quick bool) (*Table, error) {
 		d := graph.Diameter(f.g)
 		for _, p := range ps {
 			inst := partwise.RandomCongestedInstance(f.g, p, 4, 13)
-			rounds, err := congestedRounds(f.g, inst, 3)
+			rounds, err := congestedRounds(f.g, inst, 3, cfg.Trace)
 			if err != nil {
 				return nil, err
 			}
-			naive := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 3})
+			naive := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 3, Trace: cfg.Trace})
 			if _, err := (partwise.NaiveGlobalSolver{}).Solve(naive, inst, partwise.Min); err != nil {
 				return nil, err
 			}
@@ -113,7 +116,8 @@ func E7(quick bool) (*Table, error) {
 }
 
 // E8 — Lemma 26: NCC congested PWA rounds against the p + log n reference.
-func E8(quick bool) (*Table, error) {
+func E8(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	ns := []int{64, 256, 1024}
 	ps := []int{1, 2, 4, 8, 16}
 	if quick {
@@ -134,7 +138,7 @@ func E8(quick bool) (*Table, error) {
 		g := graph.Grid(side, side)
 		for _, p := range ps {
 			inst := partwise.RandomCongestedInstance(g, p, 6, 17)
-			nw := ncc.NewNetwork(g.N())
+			nw := ncc.NewNetworkWith(g.N(), simtrace.OrNop(cfg.Trace))
 			out, err := nw.Aggregate(inst, partwise.Min)
 			if err != nil {
 				return nil, err

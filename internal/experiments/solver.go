@@ -14,7 +14,8 @@ import (
 
 // E9a — Theorem 2, the log(1/ε) factor: solver rounds versus the requested
 // accuracy on a fixed grid.
-func E9a(quick bool) (*Table, error) {
+func E9a(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	tols := []float64{1e-1, 1e-2, 1e-4, 1e-6, 1e-8, 1e-10}
 	if quick {
 		tols = []float64{1e-2, 1e-6, 1e-10}
@@ -28,7 +29,9 @@ func E9a(quick bool) (*Table, error) {
 		Notes:  "rounds per decade of accuracy stays ~constant — the log(1/ε) factor",
 	}
 	for _, tol := range tols {
-		res, _, err := core.SolveOnGraph(g, b, core.ModeUniversal, tol, 1)
+		res, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+			Mode: core.ModeUniversal, Tol: tol, Seed: 1, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +49,8 @@ func E9a(quick bool) (*Table, error) {
 // low-diameter graphs with many clusters the baseline's aggregations
 // serialize at the global root; on the grid the two coincide — the
 // crossover the universal-optimality story predicts.
-func E9b(quick bool) (*Table, error) {
+func E9b(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -71,11 +75,15 @@ func E9b(quick bool) (*Table, error) {
 	}
 	for _, f := range fams {
 		b := linalg.RandomBVector(f.g.N(), 3)
-		resU, _, err := core.SolveOnGraph(f.g, b, core.ModeUniversal, 1e-6, 2)
+		resU, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
+			Mode: core.ModeUniversal, Tol: 1e-6, Seed: 2, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return nil, err
 		}
-		resB, _, err := core.SolveOnGraph(f.g, b, core.ModeBaseline, 1e-6, 2)
+		resB, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
+			Mode: core.ModeBaseline, Tol: 1e-6, Seed: 2, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +99,8 @@ func E9b(quick bool) (*Table, error) {
 
 // E10 — Theorem 3: the HYBRID solver's rounds are nearly topology-
 // independent, while the CONGEST solver's grow with the diameter.
-func E10(quick bool) (*Table, error) {
+func E10(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -116,11 +125,15 @@ func E10(quick bool) (*Table, error) {
 	}
 	for _, f := range fams {
 		b := linalg.RandomBVector(f.g.N(), 7)
-		resC, _, err := core.SolveOnGraph(f.g, b, core.ModeUniversal, 1e-6, 4)
+		resC, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
+			Mode: core.ModeUniversal, Tol: 1e-6, Seed: 4, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return nil, err
 		}
-		resH, _, err := core.SolveOnGraph(f.g, b, core.ModeHybrid, 1e-6, 4)
+		resH, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
+			Mode: core.ModeHybrid, Tol: 1e-6, Seed: 4, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +150,8 @@ func E10(quick bool) (*Table, error) {
 // E11 — Theorems 1 & 29: the Laplacian solver decides spanning connected
 // subgraph; correctness on connected and disconnected inputs across
 // families, with the PWA-based verifier as reference.
-func E11(quick bool) (*Table, error) {
+func E11(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -171,7 +185,7 @@ func E11(quick bool) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			nw := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 1})
+			nw := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
 			pwa, err := apps.SpanningConnectedViaPWA(nw, cse.edges, partwise.NewShortcutSolver())
 			if err != nil {
 				return nil, err

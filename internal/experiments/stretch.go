@@ -12,7 +12,8 @@ import (
 // FOCS'21 base [18] and the parallel-solvers line [6, 44]): measured
 // average stretch of BFS vs MST vs MPX/AKPW trees, and the effect of the
 // tree choice on the distributed tree-preconditioned solve.
-func E14(quick bool) (*Table, error) {
+func E14(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -41,7 +42,7 @@ func E14(quick bool) (*Table, error) {
 
 		b := linalg.RandomBVector(g.N(), 5)
 		iters := func(pre core.Preconditioner) (int, error) {
-			nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1})
+			nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
 			c, err := core.NewCongestComm(nw, false)
 			if err != nil {
 				return 0, err

@@ -17,7 +17,8 @@ import (
 // k = s = √n classes, while the layered reduction solves the whole
 // instance at once; the table reports both, plus the measured naive cost of
 // running s sequential 1-congested solves.
-func E1(quick bool) (*Table, error) {
+func E1(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	sizes := []int{6, 12, 18, 24, 30}
 	if quick {
 		sizes = []int{6, 10}
@@ -32,7 +33,7 @@ func E1(quick bool) (*Table, error) {
 		g, inst := partwise.HookCongestedInstance(s)
 		classes := partwise.MinOneCongestedCover(inst.Parts)
 
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
 		out, err := partwise.NewLayeredSolver(7).Solve(nw, inst, partwise.Min)
 		if err != nil {
 			return nil, err
@@ -45,7 +46,7 @@ func E1(quick bool) (*Table, error) {
 		}
 		// Sequential per-class solves: each class is a 1-congested
 		// sub-instance; measure the total of solving them one by one.
-		seq := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1})
+		seq := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
 		for i := range inst.Parts {
 			sub := &partwise.Instance{
 				Parts:  inst.Parts[i : i+1],
@@ -67,7 +68,8 @@ func E1(quick bool) (*Table, error) {
 // ×p round factor; the table runs the same aggregation workload on layered
 // graphs of growing p and reports layered rounds vs simulated (charged)
 // rounds.
-func E2(quick bool) (*Table, error) {
+func E2(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	ps := []int{1, 2, 4, 8}
 	if quick {
 		ps = []int{1, 2, 4}
@@ -84,7 +86,7 @@ func E2(quick bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		nw := congest.NewNetwork(lay.G, congest.Options{Supported: true, Seed: 3})
+		nw := congest.NewNetwork(lay.G, congest.Options{Supported: true, Seed: 3, Trace: cfg.Trace})
 		// Workload: aggregate over each layer (p disjoint copies of G as
 		// parts).
 		inst := &partwise.Instance{}
@@ -113,7 +115,8 @@ func E2(quick bool) (*Table, error) {
 
 // E3 — Lemma 19: heuristic treewidth of Ĝ_p versus the p·(w+1)−1 witness
 // bound across graph families.
-func E3(quick bool) (*Table, error) {
+func E3(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -169,7 +172,8 @@ func E3(quick bool) (*Table, error) {
 
 // E4 — Figure 3 + Observation 21: certified minor density of the 2-layered
 // grid grows as √n/2 while the planar base stays below 3.
-func E4(quick bool) (*Table, error) {
+func E4(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	sizes := []int{4, 8, 12, 16, 20}
 	if quick {
 		sizes = []int{4, 8, 12}
@@ -199,7 +203,8 @@ func E4(quick bool) (*Table, error) {
 
 // E5 — Theorem 22: the empirical shortcut-quality bracket of Ĝ_p stays
 // within polylog factors of G's, independent of p.
-func E5(quick bool) (*Table, error) {
+func E5(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph

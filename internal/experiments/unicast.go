@@ -10,7 +10,8 @@ import (
 // the shortcut-quality bracket (Theorem 25's characterization τ = Θ̃(SQ)),
 // and a p-congested witness family decomposes into few node-disjoint
 // classes (Lemma 24's O(p log k), certified by greedy coloring).
-func E12(quick bool) (*Table, error) {
+func E12(cfg Config) (*Table, error) {
+	quick := cfg.Quick
 	type fam struct {
 		name string
 		g    *graph.Graph
@@ -43,7 +44,7 @@ func E12(quick bool) (*Table, error) {
 			sources[i] = i
 			sinks[i] = n - 1 - i
 		}
-		nw := congest.NewNetwork(g, congest.Options{Seed: 5})
+		nw := congest.NewNetwork(g, congest.Options{Seed: 5, Trace: cfg.Trace})
 		sol, _, err := shortcut.SolveAnyToAnyCast(nw, sources, sinks)
 		if err != nil {
 			return nil, err

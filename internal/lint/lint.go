@@ -9,7 +9,10 @@
 //  2. Metrics integrity — round/message accounting flows only through the
 //     congest/ncc charging primitives, never through direct field writes
 //     (analyzers metricsintegrity, floateq for the residual checks those
-//     metrics gate).
+//     metrics gate);
+//  3. Trace integrity — every simtrace span opened in a function is also
+//     closed there, so phase attribution cannot silently skew (analyzer
+//     tracephase).
 //
 // Findings can be suppressed with a justification comment on the flagged
 // line or the line directly above it:
@@ -51,6 +54,7 @@ func Analyzers() []*Analyzer {
 		SeededRand(),
 		MetricsIntegrity(),
 		FloatEq(),
+		TracePhase(),
 	}
 }
 

@@ -71,6 +71,16 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			name: "tracephase",
+			dir:  "tracephase",
+			path: "distlap/internal/lintfixture/tracephase",
+			want: []string{
+				"a.go:25:2 tracephase",
+				"a.go:30:2 tracephase",
+				"a.go:38:3 tracephase",
+			},
+		},
+		{
 			// Multi-file package: diagnostics must surface from every file.
 			name: "floateq multi-file",
 			dir:  "floateq",

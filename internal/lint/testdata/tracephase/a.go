@@ -1,0 +1,48 @@
+// Package tracephase is a distlint fixture: simtrace spans must be opened
+// and closed in the same function scope.
+package tracephase
+
+import "distlap/internal/simtrace"
+
+// Good pairs — literal names, deferred End, multiple error-path Ends, and a
+// dynamic name: none flagged.
+func Good(tr simtrace.Collector, name string, fail bool) error {
+	tr.Begin("solve")
+	defer tr.End("solve")
+	tr.Begin("phase")
+	if fail {
+		tr.End("phase")
+		return nil
+	}
+	tr.End("phase")
+	tr.Begin(name)
+	tr.End(name)
+	return nil
+}
+
+// BadBegin opens a span it never closes: flagged.
+func BadBegin(tr simtrace.Collector) {
+	tr.Begin("orphan")
+}
+
+// BadEnd closes a span it never opened: flagged.
+func BadEnd(m *simtrace.InMemory) {
+	m.End("stray")
+}
+
+// Nested function literals are separate scopes: the literal's unpaired
+// Begin is flagged even though the outer function Ends the same name.
+func Nested(tr simtrace.Collector) {
+	tr.Begin("outer")
+	f := func() {
+		tr.Begin("outer")
+	}
+	f()
+	tr.End("outer")
+}
+
+// ViaAccessor pairs through a collector-returning accessor: not flagged.
+func ViaAccessor(get func() simtrace.Collector) {
+	get().Begin("bfs")
+	get().End("bfs")
+}

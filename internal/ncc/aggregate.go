@@ -59,6 +59,7 @@ func (nw *Network) Aggregate(inst *partwise.Instance, spec partwise.AggSpec) ([]
 		part     int
 		from, to int // member positions
 	}
+	nw.trace.Begin("ncc-up")
 	for stride := 1; stride < maxSize; stride *= 2 {
 		var msgs []Message
 		var routes []route
@@ -73,6 +74,7 @@ func (nw *Network) Aggregate(inst *partwise.Instance, spec partwise.AggSpec) ([]
 			continue
 		}
 		if _, err := nw.Deliver(msgs, func(m Message) {}); err != nil {
+			nw.trace.End("ncc-up")
 			return nil, err
 		}
 		// Apply combinations (payloads were captured at send time,
@@ -83,6 +85,7 @@ func (nw *Network) Aggregate(inst *partwise.Instance, spec partwise.AggSpec) ([]
 			acc[r.part][toNode] = spec.Fn(acc[r.part][toNode], acc[r.part][fromNode])
 		}
 	}
+	nw.trace.End("ncc-up")
 	out := make([]congest.Word, k)
 	for i := range members {
 		out[i] = acc[i][members[i][0]]
@@ -94,6 +97,7 @@ func (nw *Network) Aggregate(inst *partwise.Instance, spec partwise.AggSpec) ([]
 	for top < maxSize {
 		top *= 2
 	}
+	nw.trace.Begin("ncc-down")
 	for stride := top / 2; stride >= 1; stride /= 2 {
 		var msgs []Message
 		for i := range members {
@@ -109,8 +113,10 @@ func (nw *Network) Aggregate(inst *partwise.Instance, spec partwise.AggSpec) ([]
 			continue
 		}
 		if _, err := nw.Deliver(msgs, func(Message) {}); err != nil {
+			nw.trace.End("ncc-down")
 			return nil, err
 		}
 	}
+	nw.trace.End("ncc-down")
 	return out, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"distlap/internal/congest"
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
 
 // Message is one O(log n)-bit message between arbitrary nodes.
@@ -28,6 +29,7 @@ type Network struct {
 	cap      int
 	rounds   int
 	messages int64
+	trace    simtrace.Collector
 }
 
 // ErrNoNodes is returned for empty networks.
@@ -36,8 +38,19 @@ var ErrNoNodes = errors.New("ncc: network has no nodes")
 // NewNetwork returns an NCC network over n nodes with the standard
 // per-node capacity ceil(log2 n) (minimum 1).
 func NewNetwork(n int) *Network {
-	return &Network{n: n, cap: log2ceil(n)}
+	return NewNetworkWith(n, nil)
 }
+
+// NewNetworkWith is NewNetwork with a trace collector attached (nil selects
+// simtrace.Nop). The collector records rounds, clique deliveries, and the
+// ncc.sends / ncc.overloads / ncc.drops counters; it never influences
+// scheduling or the metrics.
+func NewNetworkWith(n int, tr simtrace.Collector) *Network {
+	return &Network{n: n, cap: log2ceil(n), trace: simtrace.OrNop(tr)}
+}
+
+// Trace returns the network's trace collector (never nil).
+func (nw *Network) Trace() simtrace.Collector { return nw.trace }
 
 // N returns the node count.
 func (nw *Network) N() int { return nw.n }
@@ -77,11 +90,13 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 		queues[m.From] = append(queues[m.From], m)
 	}
 	sort.Ints(senders)
+	nw.trace.Counter("ncc.sends", int64(len(msgs)))
 	remaining := len(msgs)
 	used := 0
 	for remaining > 0 {
 		used++
 		nw.rounds++
+		nw.trace.Rounds(simtrace.EngineNCC, 1)
 		recvLoad := make(map[graph.NodeID]int)
 		var delivered []Message
 		for _, s := range senders {
@@ -104,6 +119,12 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 			return used, errors.New("ncc: scheduler made no progress")
 		}
 		nw.messages += int64(len(delivered))
+		nw.trace.Messages(simtrace.EngineNCC, simtrace.NoEdge, int64(len(delivered)))
+		if remaining > 0 {
+			// Messages deferred past this round were blocked by a send or
+			// receive cap: the scheduler's congestion signal.
+			nw.trace.Counter("ncc.overloads", int64(remaining))
+		}
 		for _, m := range delivered {
 			recv(m)
 		}
@@ -115,6 +136,7 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 func (nw *Network) ChargeRounds(r int) {
 	if r > 0 {
 		nw.rounds += r
+		nw.trace.Rounds(simtrace.EngineNCC, r)
 	}
 }
 
@@ -143,6 +165,8 @@ func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropp
 		}
 	}
 	nw.rounds++
+	nw.trace.Rounds(simtrace.EngineNCC, 1)
+	nw.trace.Counter("ncc.sends", int64(len(msgs)))
 	// Senders may emit at most cap messages; excess sends are dropped at
 	// the source (in FIFO order).
 	sendLoad := make(map[graph.NodeID]int)
@@ -160,6 +184,7 @@ func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropp
 		receivers = append(receivers, to)
 	}
 	sort.Ints(receivers)
+	deliveredCount := int64(0)
 	for _, to := range receivers {
 		inbox := byReceiver[to]
 		sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
@@ -169,8 +194,13 @@ func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropp
 				break
 			}
 			nw.messages++
+			deliveredCount++
 			recv(m)
 		}
+	}
+	nw.trace.Messages(simtrace.EngineNCC, simtrace.NoEdge, deliveredCount)
+	if dropped > 0 {
+		nw.trace.Counter("ncc.drops", int64(dropped))
 	}
 	return dropped, nil
 }

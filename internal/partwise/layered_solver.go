@@ -7,6 +7,7 @@ import (
 	"distlap/internal/graph"
 	"distlap/internal/layered"
 	"distlap/internal/shortcut"
+	"distlap/internal/simtrace"
 )
 
 // LayeredSolver solves p-congested part-wise aggregation instances by the
@@ -46,6 +47,9 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 	if err := inst.Validate(g); err != nil {
 		return nil, err
 	}
+	tr := nw.Trace()
+	tr.Begin("pwa-layered")
+	defer tr.End("pwa-layered")
 	lut := inst.valueLookup()
 
 	// 1. Decompose all parts into heavy paths grouped by level.
@@ -81,10 +85,12 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 	// 2–3. Upward sweep: deepest level first.
 	partAgg := make([]congest.Word, len(inst.Parts))
 	seed := s.Seed
+	tr.Begin("levels-up")
 	for lvl := maxLevel; lvl >= 0; lvl-- {
 		batch := byLevel[lvl]
 		aggs, err := s.solvePathBatch(nw, batch, valueAt, spec, seed)
 		if err != nil {
+			tr.End("levels-up")
 			return nil, fmt.Errorf("partwise: level %d up: %w", lvl, err)
 		}
 		seed += 1000003
@@ -104,6 +110,7 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 			}
 		}
 		if _, err := nw.RouteMany(pkts); err != nil {
+			tr.End("levels-up")
 			return nil, err
 		}
 		for b, dp := range batch {
@@ -115,10 +122,13 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 			}
 		}
 	}
+	tr.End("levels-up")
 
 	// Downward sweep: attachment nodes forward the final part aggregate to
 	// deeper paths, which broadcast it internally via the same machinery
 	// (the aggregate of {A, identity, ...} is A).
+	tr.Begin("levels-down")
+	defer tr.End("levels-down")
 	for lvl := 0; lvl < maxLevel; lvl++ {
 		batch := byLevel[lvl+1]
 		if len(batch) == 0 {
@@ -193,9 +203,15 @@ func (s LayeredSolver) solvePathBatch(
 			vals[emb.Canonical[j][i]] = valueAt(dp.part, v)
 		}
 	}
+	// The sub-network shares the base trace but records under the
+	// "layered" engine label: its rounds are internal to the Lemma 16
+	// simulation, whose cost is charged on the base network (engine
+	// "congest") below — two labels keep the accounting disjoint.
 	layNW := congest.NewNetwork(emb.Layered.G, congest.Options{
-		Supported: nw.Supported(),
-		Seed:      seed + 17,
+		Supported:   nw.Supported(),
+		Seed:        seed + 17,
+		Trace:       nw.Trace(),
+		TraceEngine: simtrace.EngineLayered,
 	})
 	aggs, _, err := SolveOneCongested(layNW, emb.Parts,
 		func(_ int, x graph.NodeID) congest.Word {

@@ -38,11 +38,15 @@ func SolveOneCongested(
 	builder shortcut.Builder,
 ) ([]congest.Word, *shortcut.Shortcut, error) {
 	g := nw.Graph()
+	tr := nw.Trace()
+	tr.Begin("shortcut-build")
 	sc, err := builder.Build(g, parts)
 	if err != nil {
+		tr.End("shortcut-build")
 		return nil, nil, fmt.Errorf("partwise: build shortcut: %w", err)
 	}
 	chargeConstruction(nw, sc)
+	tr.End("shortcut-build")
 
 	trees := make([]*graph.Tree, len(parts))
 	members := make([]map[graph.NodeID]bool, len(parts))
@@ -72,12 +76,14 @@ func SolveOneCongested(
 			return nil, nil, fmt.Errorf("partwise: augmented part %d disconnected", i)
 		}
 	}
+	tr.Begin("part-aggregate")
 	out, err := nw.AggregateMany(trees, func(t int, v graph.NodeID) congest.Word {
 		if members[t][v] {
 			return val(t, v)
 		}
 		return spec.Identity
 	}, spec.Fn)
+	tr.End("part-aggregate")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,6 +107,8 @@ func (NaiveGlobalSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec
 	if err := inst.Validate(g); err != nil {
 		return nil, err
 	}
+	nw.Trace().Begin("pwa-naive")
+	defer nw.Trace().End("pwa-naive")
 	var tree *graph.Tree
 	if nw.Supported() {
 		tree = graph.BFSTree(g, 0)

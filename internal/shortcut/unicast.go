@@ -80,11 +80,14 @@ func SolveMultipleUnicast(nw *congest.Network, pairs []UnicastPair) (*UnicastSol
 	for i, pr := range pairs {
 		pkts[i] = congest.Packet{Start: pr.Source, Edges: sol.Paths[i], Payload: congest.Word(i)}
 	}
+	nw.Trace().Begin("unicast-route")
 	before := nw.Rounds()
 	if _, err := nw.RouteMany(pkts); err != nil {
+		nw.Trace().End("unicast-route")
 		return nil, err
 	}
 	sol.Makespan = nw.Rounds() - before
+	nw.Trace().End("unicast-route")
 	return sol, nil
 }
 

@@ -1,0 +1,101 @@
+package simtrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// JSONL streams trace events as JSON Lines and, on Flush, appends aggregate
+// summary records. It embeds an InMemory aggregator, so it also satisfies
+// PhaseQuerier.
+//
+// Byte-stability contract (what determinism tests pin): records carry no
+// timestamps or addresses, keys are emitted in a fixed order (hand-rolled
+// marshaling, never map-ordered), and every aggregate is emitted under a
+// total order (path, name, or load-then-id). Two runs with the same seed
+// therefore produce byte-identical files.
+//
+// Record shapes:
+//
+//	{"ev":"begin","path":P}
+//	{"ev":"end","path":P,"rounds":R,"messages":M}       // exclusive charges of this instance
+//	{"ev":"untracked","rounds":R,"messages":M}          // Flush: charges with no open span
+//	{"ev":"engine","engine":E,"rounds":R,"messages":M}  // Flush: per-engine totals
+//	{"ev":"phase","path":P,"count":C,"rounds":R,"messages":M}   // Flush: per-path totals
+//	{"ev":"counter","name":N,"value":V}                 // Flush
+//	{"ev":"loadhist","engine":E,"bucket":B,"edges":C}   // Flush: 2^B load buckets
+//	{"ev":"edge","engine":E,"edge":D,"words":W}         // Flush: top loaded edges
+type JSONL struct {
+	*InMemory
+	w    io.Writer
+	err  error
+	topK int
+}
+
+var _ Collector = (*JSONL)(nil)
+
+// JSONLTopEdges is the number of most-loaded directed edges per engine a
+// JSONL sink records at Flush.
+const JSONLTopEdges = 16
+
+// NewJSONL returns a sink streaming to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{InMemory: NewInMemory(), w: w, topK: JSONLTopEdges}
+}
+
+func (j *JSONL) emit(format string, args ...any) {
+	if j.err != nil {
+		return
+	}
+	_, j.err = fmt.Fprintf(j.w, format, args...)
+}
+
+// Begin implements Collector.
+func (j *JSONL) Begin(name string) {
+	j.InMemory.Begin(name)
+	j.emit("{\"ev\":\"begin\",\"path\":%q}\n", j.path())
+}
+
+// End implements Collector: emits the closing instance's exclusive charges.
+func (j *JSONL) End(name string) {
+	if len(j.stack) > 0 {
+		top := j.stack[len(j.stack)-1]
+		j.emit("{\"ev\":\"end\",\"path\":%q,\"rounds\":%d,\"messages\":%d}\n",
+			top.path, top.rounds, top.messages)
+	}
+	j.InMemory.End(name)
+}
+
+// Flush implements Collector: appends the aggregate summary records and
+// reports any accumulated write error.
+func (j *JSONL) Flush() error {
+	if un := j.stats[""]; un != nil {
+		j.emit("{\"ev\":\"untracked\",\"rounds\":%d,\"messages\":%d}\n", un.Rounds, un.Messages)
+	}
+	engines := j.Engines()
+	for _, e := range engines {
+		j.emit("{\"ev\":\"engine\",\"engine\":%q,\"rounds\":%d,\"messages\":%d}\n",
+			e.Engine, e.Rounds, e.Messages)
+	}
+	for _, st := range j.Phases() {
+		if st.Path == "" {
+			continue
+		}
+		j.emit("{\"ev\":\"phase\",\"path\":%q,\"count\":%d,\"rounds\":%d,\"messages\":%d}\n",
+			st.Path, st.Count, st.Rounds, st.Messages)
+	}
+	for _, c := range j.Counters() {
+		j.emit("{\"ev\":\"counter\",\"name\":%q,\"value\":%d}\n", c.Name, c.Value)
+	}
+	for _, e := range engines {
+		for _, h := range j.LoadHistogram(e.Engine) {
+			j.emit("{\"ev\":\"loadhist\",\"engine\":%q,\"bucket\":%d,\"edges\":%d}\n",
+				h.Engine, h.Edge, h.Words)
+		}
+		for _, t := range j.TopEdges(e.Engine, j.topK) {
+			j.emit("{\"ev\":\"edge\",\"engine\":%q,\"edge\":%d,\"words\":%d}\n",
+				t.Engine, t.Edge, t.Words)
+		}
+	}
+	return j.err
+}

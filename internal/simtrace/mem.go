@@ -1,0 +1,280 @@
+package simtrace
+
+import "sort"
+
+// PhaseStat is the exclusive (own-charge) summary of one phase path across
+// all of its instances: rounds and messages charged while this exact path
+// was the innermost open span. The empty path "" collects charges made with
+// no span open ("untracked").
+type PhaseStat struct {
+	Path     string // slash-joined span names, e.g. "solve/precond/sweep"
+	Count    int    // number of span instances opened at this path
+	Rounds   int    // rounds attributed to this path (exclusive of children)
+	Messages int64  // word-messages attributed to this path (exclusive)
+}
+
+// EdgeLoad is the total word count carried by one directed edge of one
+// engine over the traced execution.
+type EdgeLoad struct {
+	Engine string
+	Edge   int // directed edge id (2*edge for U->V, 2*edge+1 for V->U)
+	Words  int64
+}
+
+// CounterStat is one named counter's accumulated value.
+type CounterStat struct {
+	Name  string
+	Value int64
+}
+
+// EngineTotal is one engine's accumulated rounds and messages.
+type EngineTotal struct {
+	Engine   string
+	Rounds   int
+	Messages int64
+}
+
+// frame is one open span instance; rounds/messages are the instance's own
+// (exclusive) charges, consumed by the JSONL sink's per-instance end events.
+type frame struct {
+	name     string
+	path     string
+	rounds   int
+	messages int64
+}
+
+// InMemory aggregates trace events into queryable summaries. It is the
+// workhorse sink for tests and benchmarks and the aggregation core of the
+// JSONL sink. The zero value is not usable; call NewInMemory.
+type InMemory struct {
+	stack    []frame
+	stats    map[string]*PhaseStat
+	counters map[string]int64
+	engines  map[string]*EngineTotal
+	edges    map[string]map[int]int64 // engine -> dirEdge -> words
+}
+
+var _ Collector = (*InMemory)(nil)
+var _ PhaseQuerier = (*InMemory)(nil)
+
+// NewInMemory returns an empty in-memory collector.
+func NewInMemory() *InMemory {
+	return &InMemory{
+		stats:    make(map[string]*PhaseStat),
+		counters: make(map[string]int64),
+		engines:  make(map[string]*EngineTotal),
+		edges:    make(map[string]map[int]int64),
+	}
+}
+
+// path returns the innermost open phase path ("" when no span is open).
+func (m *InMemory) path() string {
+	if len(m.stack) == 0 {
+		return ""
+	}
+	return m.stack[len(m.stack)-1].path
+}
+
+func (m *InMemory) stat(path string) *PhaseStat {
+	st := m.stats[path]
+	if st == nil {
+		st = &PhaseStat{Path: path}
+		m.stats[path] = st
+	}
+	return st
+}
+
+// Begin implements Collector.
+func (m *InMemory) Begin(name string) {
+	p := name
+	if parent := m.path(); parent != "" {
+		p = parent + "/" + name
+	}
+	m.stack = append(m.stack, frame{name: name, path: p})
+	m.stat(p).Count++
+}
+
+// End implements Collector. An End with no open span is ignored (the
+// tracephase analyzer rejects such code statically).
+func (m *InMemory) End(name string) {
+	if len(m.stack) == 0 {
+		return
+	}
+	m.stack = m.stack[:len(m.stack)-1]
+}
+
+// Rounds implements Collector.
+func (m *InMemory) Rounds(engine string, n int) {
+	if n <= 0 {
+		return
+	}
+	m.stat(m.path()).Rounds += n
+	if len(m.stack) > 0 {
+		m.stack[len(m.stack)-1].rounds += n
+	}
+	m.engine(engine).Rounds += n
+}
+
+// Messages implements Collector.
+func (m *InMemory) Messages(engine string, dirEdge int, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.stat(m.path()).Messages += n
+	if len(m.stack) > 0 {
+		m.stack[len(m.stack)-1].messages += n
+	}
+	m.engine(engine).Messages += n
+	if dirEdge >= 0 {
+		byEdge := m.edges[engine]
+		if byEdge == nil {
+			byEdge = make(map[int]int64)
+			m.edges[engine] = byEdge
+		}
+		byEdge[dirEdge] += n
+	}
+}
+
+// Counter implements Collector.
+func (m *InMemory) Counter(name string, n int64) { m.counters[name] += n }
+
+// Flush implements Collector (no-op for the in-memory sink).
+func (m *InMemory) Flush() error { return nil }
+
+func (m *InMemory) engine(name string) *EngineTotal {
+	e := m.engines[name]
+	if e == nil {
+		e = &EngineTotal{Engine: name}
+		m.engines[name] = e
+	}
+	return e
+}
+
+// Phases returns the per-path exclusive summaries sorted by path. The ""
+// (untracked) bucket is included when it received charges.
+func (m *InMemory) Phases() []PhaseStat {
+	paths := make([]string, 0, len(m.stats))
+	for p := range m.stats {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]PhaseStat, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, *m.stats[p])
+	}
+	return out
+}
+
+// PhaseRounds returns the exclusive rounds attributed to the exact path.
+func (m *InMemory) PhaseRounds(path string) int {
+	if st := m.stats[path]; st != nil {
+		return st.Rounds
+	}
+	return 0
+}
+
+// Counters returns all counters sorted by name.
+func (m *InMemory) Counters() []CounterStat {
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]CounterStat, 0, len(names))
+	for _, n := range names {
+		out = append(out, CounterStat{Name: n, Value: m.counters[n]})
+	}
+	return out
+}
+
+// CounterValue returns one counter's value (0 if never incremented).
+func (m *InMemory) CounterValue(name string) int64 { return m.counters[name] }
+
+// Engines returns per-engine totals sorted by engine name.
+func (m *InMemory) Engines() []EngineTotal {
+	names := make([]string, 0, len(m.engines))
+	for n := range m.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]EngineTotal, 0, len(names))
+	for _, n := range names {
+		out = append(out, *m.engines[n])
+	}
+	return out
+}
+
+// EngineRounds returns the total rounds recorded for one engine.
+func (m *InMemory) EngineRounds(engine string) int {
+	if e := m.engines[engine]; e != nil {
+		return e.Rounds
+	}
+	return 0
+}
+
+// TotalRounds returns the rounds recorded across all engines.
+func (m *InMemory) TotalRounds() int {
+	total := 0
+	for _, e := range m.Engines() {
+		total += e.Rounds
+	}
+	return total
+}
+
+// TopEdges returns the k most loaded directed edges of one engine, sorted by
+// descending load with edge id as the deterministic tiebreak.
+func (m *InMemory) TopEdges(engine string, k int) []EdgeLoad {
+	byEdge := m.edges[engine]
+	ids := make([]int, 0, len(byEdge))
+	for de := range byEdge {
+		ids = append(ids, de)
+	}
+	sort.Ints(ids)
+	out := make([]EdgeLoad, 0, len(ids))
+	for _, de := range ids {
+		out = append(out, EdgeLoad{Engine: engine, Edge: de, Words: byEdge[de]})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Words > out[b].Words })
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// LoadHistogram buckets one engine's directed-edge loads into power-of-two
+// buckets: bucket b counts edges with load in (2^(b-1), 2^b]. Returned as
+// (bucket, count) pairs sorted by bucket.
+func (m *InMemory) LoadHistogram(engine string) []EdgeLoad {
+	byEdge := m.edges[engine]
+	buckets := make(map[int]int64)
+	ids := make([]int, 0, len(byEdge))
+	for de := range byEdge {
+		ids = append(ids, de)
+	}
+	sort.Ints(ids)
+	for _, de := range ids {
+		buckets[loadBucket(byEdge[de])]++
+	}
+	bs := make([]int, 0, len(buckets))
+	for b := range buckets {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	out := make([]EdgeLoad, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, EdgeLoad{Engine: engine, Edge: b, Words: buckets[b]})
+	}
+	return out
+}
+
+// loadBucket returns ceil(log2(words)): the power-of-two histogram bucket.
+func loadBucket(words int64) int {
+	b := 0
+	for lim := int64(1); lim < words; lim *= 2 {
+		b++
+	}
+	return b
+}
+
+// OpenSpans returns the number of currently open spans (test helper).
+func (m *InMemory) OpenSpans() int { return len(m.stack) }

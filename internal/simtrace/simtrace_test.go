@@ -1,0 +1,144 @@
+package simtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInMemoryExclusiveAttribution(t *testing.T) {
+	m := NewInMemory()
+	m.Rounds(EngineCongest, 2) // untracked
+	m.Begin("solve")
+	m.Rounds(EngineCongest, 3)
+	m.Begin("precond")
+	m.Rounds(EngineCongest, 5)
+	m.Messages(EngineCongest, 4, 7)
+	m.End("precond")
+	m.Rounds(EngineCongest, 1)
+	m.End("solve")
+
+	if got := m.PhaseRounds(""); got != 2 {
+		t.Errorf("untracked rounds = %d, want 2", got)
+	}
+	if got := m.PhaseRounds("solve"); got != 4 {
+		t.Errorf("solve exclusive rounds = %d, want 4 (must exclude child)", got)
+	}
+	if got := m.PhaseRounds("solve/precond"); got != 5 {
+		t.Errorf("solve/precond rounds = %d, want 5", got)
+	}
+
+	// The exclusivity identity: phase rounds (incl. untracked) sum to the
+	// engine total.
+	sum := 0
+	for _, st := range m.Phases() {
+		sum += st.Rounds
+	}
+	if sum != m.TotalRounds() || sum != 11 {
+		t.Errorf("phase rounds sum %d, engine total %d, want 11", sum, m.TotalRounds())
+	}
+	if m.OpenSpans() != 0 {
+		t.Errorf("%d spans left open", m.OpenSpans())
+	}
+}
+
+func TestInMemoryRepeatedSpansAccumulate(t *testing.T) {
+	m := NewInMemory()
+	for i := 0; i < 3; i++ {
+		m.Begin("iter")
+		m.Rounds(EngineCongest, 2)
+		m.End("iter")
+	}
+	ph := m.Phases()
+	if len(ph) != 1 || ph[0].Path != "iter" || ph[0].Count != 3 || ph[0].Rounds != 6 {
+		t.Errorf("phases = %+v, want one path iter count=3 rounds=6", ph)
+	}
+}
+
+func TestEdgeLoadsAndCounters(t *testing.T) {
+	m := NewInMemory()
+	m.Messages(EngineCongest, 0, 1)
+	m.Messages(EngineCongest, 5, 10)
+	m.Messages(EngineCongest, 5, 1)
+	m.Messages(EngineNCC, NoEdge, 100) // clique deliveries: no edge identity
+	m.Counter("ncc.drops", 4)
+	m.Counter("ncc.drops", 1)
+
+	top := m.TopEdges(EngineCongest, 1)
+	if len(top) != 1 || top[0].Edge != 5 || top[0].Words != 11 {
+		t.Errorf("top edge = %+v, want edge 5 with 11 words", top)
+	}
+	if len(m.TopEdges(EngineNCC, 10)) != 0 {
+		t.Error("NoEdge deliveries must not create edge entries")
+	}
+	if got := m.CounterValue("ncc.drops"); got != 5 {
+		t.Errorf("ncc.drops = %d, want 5", got)
+	}
+	if got := m.EngineRounds(EngineCongest); got != 0 {
+		t.Errorf("messages must not add rounds, got %d", got)
+	}
+}
+
+func TestLoadBuckets(t *testing.T) {
+	cases := []struct {
+		words int64
+		want  int
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}}
+	for _, c := range cases {
+		if got := loadBucket(c.words); got != c.want {
+			t.Errorf("loadBucket(%d) = %d, want %d", c.words, got, c.want)
+		}
+	}
+}
+
+// traceScript drives a fixed event sequence into a collector.
+func traceScript(c Collector) {
+	c.Begin("solve")
+	c.Rounds(EngineCongest, 1)
+	c.Begin("matvec")
+	c.Rounds(EngineCongest, 1)
+	c.Messages(EngineCongest, 3, 4)
+	c.End("matvec")
+	c.End("solve")
+	c.Counter("k", 2)
+	c.Rounds(EngineNCC, 7)
+}
+
+func TestJSONLByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	ja, jb := NewJSONL(&a), NewJSONL(&b)
+	traceScript(ja)
+	traceScript(jb)
+	if err := ja.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := jb.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical scripts produced different JSONL:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{
+		`{"ev":"begin","path":"solve"}`,
+		`{"ev":"end","path":"solve/matvec","rounds":1,"messages":4}`,
+		`{"ev":"untracked","rounds":7,"messages":0}`,
+		`{"ev":"engine","engine":"congest","rounds":2,"messages":4}`,
+		`{"ev":"phase","path":"solve/matvec","count":1,"rounds":1,"messages":4}`,
+		`{"ev":"counter","name":"k","value":2}`,
+		`{"ev":"edge","engine":"congest","edge":3,"words":4}`,
+	} {
+		if !strings.Contains(a.String(), want+"\n") {
+			t.Errorf("JSONL missing record %s; got:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Error("OrNop(nil) must be Nop")
+	}
+	m := NewInMemory()
+	if OrNop(m) != Collector(m) {
+		t.Error("OrNop must pass non-nil collectors through")
+	}
+}
