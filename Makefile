@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test bench trace-smoke
+.PHONY: check build vet lint test bench bench-smoke microbench trace-smoke
 
 check: build vet lint test trace-smoke
 
@@ -21,7 +21,24 @@ lint:
 test:
 	$(GO) test -race ./...
 
+# Suite benchmark: full sweeps through cmd/bench, emitting the
+# machine-readable trajectory file BENCH_local.json (schema in README
+# "Benchmarking"). LABEL and PARALLEL may be overridden:
+#   make bench LABEL=mybox PARALLEL=8
+LABEL ?= local
+PARALLEL ?= 0
+
 bench:
+	$(GO) run ./cmd/bench -label $(LABEL) -parallel $(PARALLEL)
+
+# CI-sized benchmark: quick sweeps, plus the sequential parity oracle
+# (-verify re-runs everything at -parallel 1 and requires byte-identical
+# tables and traces). Fails if parallelism perturbs any result.
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -label ci -parallel 4 -verify
+
+# Go microbenchmarks (per-experiment testing.B harness in bench_test.go).
+microbench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # End-to-end instrumentation check: run one traced experiment, then render

@@ -42,3 +42,26 @@ func BenchmarkE12_AnyToAnyCast(b *testing.B) { benchExperiment(b, "E12") }
 func BenchmarkE13_ApproxMaxFlow(b *testing.B) { benchExperiment(b, "E13") }
 
 func BenchmarkE14_LowStretchTrees(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkSuiteParallel runs the whole quick suite through the parallel
+// harness at the default pool width (GOMAXPROCS) — the same code path
+// `make bench` exercises. Compare against BenchmarkSuiteSequential to see
+// the worker pool's effect on this machine; results are byte-identical
+// either way (see TestParallelParity in internal/experiments).
+func BenchmarkSuiteParallel(b *testing.B)   { benchSuite(b, 0) }
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, id := range experiments.IDs() {
+			tbl, err := experiments.RunWith(id, experiments.Config{Quick: true, Parallel: parallel})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	}
+}

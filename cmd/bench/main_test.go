@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickBenchWithVerify runs the whole quick suite with the sequential
+// parity oracle enabled and checks the emitted BENCH file's invariants.
+func TestQuickBenchWithVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-quick", "-label", "test", "-parallel", "2", "-verify", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH file is not valid JSON: %v", err)
+	}
+	if doc.Schema != schemaVersion {
+		t.Errorf("schema: got %d, want %d", doc.Schema, schemaVersion)
+	}
+	if doc.Mode != "quick" || doc.Label != "test" || doc.Parallel != 2 {
+		t.Errorf("header fields wrong: %+v", doc)
+	}
+	if len(doc.Experiments) != 15 {
+		t.Fatalf("got %d experiment records, want 15", len(doc.Experiments))
+	}
+	for _, e := range doc.Experiments {
+		if e.WallMS < 0 || e.Rows <= 0 {
+			t.Errorf("%s: implausible record %+v", e.ID, e)
+		}
+		// Every experiment drives at least one network, so communication
+		// metrics must be present (E3/E4 are pure computation and may be 0).
+		if e.Rounds < 0 || e.Messages < 0 || e.MaxEdgeLoad < 0 {
+			t.Errorf("%s: negative metric %+v", e.ID, e)
+		}
+	}
+	if doc.Speedup <= 0 {
+		t.Errorf("verify run must record a speedup, got %v", doc.Speedup)
+	}
+}
+
+// TestBadFlag checks flag errors surface instead of running the suite.
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

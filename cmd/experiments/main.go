@@ -6,10 +6,16 @@
 //	experiments                      # run every experiment, full sweeps
 //	experiments -run E5,E9b          # run selected experiments
 //	experiments -quick               # reduced sweeps (what the benchmarks use)
+//	experiments -parallel 8          # worker-pool width (default GOMAXPROCS)
 //	experiments -trace trace.jsonl   # stream the instrumentation to a file
 //
 // The -trace file is a deterministic JSONL event stream (one span per
 // experiment ID, phases nested beneath); render it with cmd/simtrace.
+//
+// Output determinism: stdout carries only the tables, which are
+// byte-identical for a given sweep at every -parallel width, so
+// `go run ./cmd/experiments > experiments_output.txt` regenerates the
+// committed snapshot reproducibly. Wall-clock timings go to stderr.
 package main
 
 import (
@@ -35,6 +41,7 @@ func run(args []string) error {
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	quick := fs.Bool("quick", false, "reduced parameter sweeps")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	parallel := fs.Int("parallel", 0, "sweep-point worker-pool width (0 = GOMAXPROCS); output is identical at any width")
 	traceOut := fs.String("trace", "", "write a JSONL instrumentation trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +50,7 @@ func run(args []string) error {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
 	}
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
 	var traceFile *os.File
 	var jsonl *simtrace.JSONL
 	if *traceOut != "" {
@@ -69,7 +76,9 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		tbl.Fprint(os.Stdout)
-		fmt.Printf("  (%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		// Timing is wall-clock noise, not part of the deterministic table
+		// stream — keep stdout redirectable into experiments_output.txt.
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if jsonl != nil {
 		if err := jsonl.Flush(); err != nil {
@@ -78,7 +87,7 @@ func run(args []string) error {
 		if err := traceFile.Close(); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		fmt.Printf("trace written to %s\n", *traceOut)
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 	return nil
 }

@@ -25,3 +25,9 @@ func TestRunList(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunParallel(t *testing.T) {
+	if err := run([]string{"-run", "E2", "-quick", "-parallel", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

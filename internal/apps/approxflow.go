@@ -6,6 +6,7 @@ import (
 
 	"distlap/internal/core"
 	"distlap/internal/graph"
+	"distlap/internal/seedderive"
 	"distlap/internal/simtrace"
 )
 
@@ -118,7 +119,7 @@ func (a *ApproxMaxFlow) probe(g *graph.Graph, s, t graph.NodeID, f int64) ([]flo
 		b[s] = float64(f)
 		b[t] = -float64(f)
 		sol, _, err := core.SolveOnGraphWith(rg, b, core.SolveConfig{
-			Mode: a.Mode, Tol: 1e-8, Seed: a.Seed + int64(it), Trace: a.Trace,
+			Mode: a.Mode, Tol: 1e-8, Seed: seedderive.Derive(a.Seed, "mwu-solve", int64(it)), Trace: a.Trace,
 		})
 		if err != nil {
 			return nil, rounds, solves, false, err

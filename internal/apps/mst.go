@@ -4,6 +4,12 @@
 // spanning-connected-subgraph problem and its reduction from Laplacian
 // solving (Theorems 1 and 29), and electrical-flow / effective-resistance
 // computations on top of the core solver.
+//
+// Determinism obligations: applications compose core/partwise primitives
+// and never touch the engines directly, so their measured cost decomposes
+// into primitive calls; all tie-breaking (Borůvka edge choice, sweep-cut
+// ordering) is by stable IDs, and any randomness draws from rand chains
+// seeded via seedderive — a run is a pure function of (graph, seed).
 package apps
 
 import (

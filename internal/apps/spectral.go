@@ -8,6 +8,7 @@ import (
 	"distlap/internal/core"
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
+	"distlap/internal/seedderive"
 	"distlap/internal/simtrace"
 )
 
@@ -56,7 +57,7 @@ func (sp *SpectralPartitioner) Partition(g *graph.Graph) (*SpectralResult, error
 		iters = 12
 	}
 	// Deterministic mean-zero start with components along all eigvectors.
-	x := linalg.RandomBVector(n, sp.Seed+101)
+	x := linalg.RandomBVector(n, seedderive.Derive(sp.Seed, "spectral-start", 0))
 	if linalg.Norm2(x) == 0 { //distlint:allow floateq exact-zero guard before normalizing a possibly all-zero start vector
 		x[0] = 1
 		linalg.CenterMean(x)
@@ -64,7 +65,7 @@ func (sp *SpectralPartitioner) Partition(g *graph.Graph) (*SpectralResult, error
 	res := &SpectralResult{}
 	for it := 0; it < iters; it++ {
 		sol, _, err := core.SolveOnGraphWith(g, x, core.SolveConfig{
-			Mode: sp.Mode, Tol: tol, Seed: sp.Seed + int64(it), Trace: sp.Trace,
+			Mode: sp.Mode, Tol: tol, Seed: seedderive.Derive(sp.Seed, "inverse-iter", int64(it)), Trace: sp.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("apps: inverse iteration %d: %w", it, err)

@@ -15,6 +15,13 @@
 // same engine with the Supported flag set: algorithms may then precompute
 // topology-dependent structures (e.g. shortcuts) at zero round cost, exactly
 // as the model permits.
+//
+// Determinism obligations: an execution is a pure function of
+// (graph, Options.Seed) — scheduling randomness comes only from the
+// network's own rand chain, Metrics fields are written only by this
+// package's charging primitives (enforced by the metricsintegrity
+// analyzer), and a Network with its engines is confined to a single
+// goroutine for its whole lifetime (DESIGN.md §7).
 package congest
 
 import (

@@ -16,6 +16,13 @@
 //     existentially-optimal baseline in the style of [18];
 //   - HybridComm — local edges for MatVec, NCC for global aggregation,
 //     Theorem 3.
+//
+// Determinism obligations: iteration order, reduction order and
+// floating-point evaluation are fixed, all communication flows through the
+// Comm (whose round counts come from the engines underneath), and child
+// seeds for randomized phases (cluster covers, MPX shifts) are derived via
+// seedderive — so solver trajectories and measured rounds are
+// bit-reproducible from (graph, b, options).
 package core
 
 import (

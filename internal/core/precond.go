@@ -6,6 +6,7 @@ import (
 
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
+	"distlap/internal/seedderive"
 	"distlap/internal/shortcut"
 )
 
@@ -197,12 +198,12 @@ func (p *SchwarzPrecond) Setup(c Comm) error {
 		var parts [][]graph.NodeID
 		switch p.Method {
 		case "", "random":
-			parts = shortcut.RandomConnectedPartition(g, k, p.Seed+int64(l)*9973)
+			parts = shortcut.RandomConnectedPartition(g, k, seedderive.Derive(p.Seed, "cluster-cover", int64(l)))
 		case "mpx":
 			// Beta tuned so the expected cluster size matches TargetSize.
 			beta := 2.0 / float64(p.TargetSize)
 			parts = graph.MPXDecomposition(g, graph.MPXOptions{
-				Beta: beta, Seed: p.Seed + int64(l)*9973,
+				Beta: beta, Seed: seedderive.Derive(p.Seed, "cluster-cover-mpx", int64(l)),
 			})
 		default:
 			return fmt.Errorf("core: unknown cluster method %q", p.Method)

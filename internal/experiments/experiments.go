@@ -1,8 +1,17 @@
-// Package experiments regenerates the paper-claim tables E1–E11 indexed in
+// Package experiments regenerates the paper-claim tables E1–E14 indexed in
 // DESIGN.md §3: each experiment turns a figure, lemma or theorem of the
 // paper into a measured series on the simulator. cmd/experiments prints the
 // tables; the root bench_test.go wraps each one in a testing.B benchmark;
-// EXPERIMENTS.md records expected-vs-measured shapes.
+// cmd/bench records the suite's perf trajectory; EXPERIMENTS.md records
+// expected-vs-measured shapes.
+//
+// Determinism obligations: every experiment is a list of independent sweep
+// points, each owning its graph, network, derived seeds and trace
+// collector (see parallel.go and DESIGN.md §7). Points may execute on a
+// bounded worker pool (Config.Parallel), but tables and trace streams are
+// assembled in canonical sweep order, so output is byte-identical at every
+// pool width. Wall-clock timing is permitted in this package only for
+// reporting (never for decisions that affect results).
 package experiments
 
 import (
@@ -73,8 +82,14 @@ type Config struct {
 	// Trace receives the instrumentation of every network and solve the
 	// experiment performs (nil = Nop). RunWith additionally wraps the whole
 	// experiment in a span named after its ID, so per-experiment phase
-	// breakdowns come out of one multi-experiment trace.
+	// breakdowns come out of one multi-experiment trace. Sweep points trace
+	// into private recorders that are replayed into Trace in canonical
+	// order, so the stream is independent of Parallel.
 	Trace simtrace.Collector
+	// Parallel bounds the worker pool the sweep points of each experiment
+	// fan out across (0 = GOMAXPROCS). Any value produces byte-identical
+	// tables and traces; it only changes wall time.
+	Parallel int
 }
 
 // Runner executes one experiment.

@@ -4,31 +4,37 @@ import (
 	"distlap/internal/apps"
 	"distlap/internal/core"
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
+
+// threePaths builds the three-parallel-paths instance of E13.
+func threePaths() *graph.Graph {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 5, 2)
+	g.MustAddEdge(0, 2, 3)
+	g.MustAddEdge(2, 5, 3)
+	g.MustAddEdge(0, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	return g
+}
 
 // E13 — §5 application: approximate max-flow via electrical flows, each
 // MWU iteration one distributed Laplacian solve. The table reports the
 // approximation quality and the measured (#solves × rounds) structure.
 func E13(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	parallel := graph.New(6)
-	parallel.MustAddEdge(0, 1, 2)
-	parallel.MustAddEdge(1, 5, 2)
-	parallel.MustAddEdge(0, 2, 3)
-	parallel.MustAddEdge(2, 5, 3)
-	parallel.MustAddEdge(0, 3, 1)
-	parallel.MustAddEdge(3, 4, 1)
-	parallel.MustAddEdge(4, 5, 1)
 	type cse struct {
 		name string
-		g    *graph.Graph
+		mk   func() *graph.Graph
 		s, t graph.NodeID
 	}
 	cases := []cse{
-		{name: "3-paths", g: parallel, s: 0, t: 5},
-		{name: "grid3x5", g: graph.Grid(3, 5), s: 0, t: 14},
-		{name: "barbell", g: graph.Barbell(4, 1), s: 0, t: 8},
-		{name: "weighted", g: graph.RandomConnected(12, 8, 6, 3), s: 0, t: 11},
+		{name: "3-paths", mk: threePaths, s: 0, t: 5},
+		{name: "grid3x5", mk: func() *graph.Graph { return graph.Grid(3, 5) }, s: 0, t: 14},
+		{name: "barbell", mk: func() *graph.Graph { return graph.Barbell(4, 1) }, s: 0, t: 8},
+		{name: "weighted", mk: func() *graph.Graph { return graph.RandomConnected(12, 8, 6, 3) }, s: 0, t: 11},
 	}
 	if quick {
 		cases = cases[:2]
@@ -39,20 +45,28 @@ func E13(cfg Config) (*Table, error) {
 		Header: []string{"instance", "exact", "approx (eps=0.1)", "solves", "rounds", "rounds/solve"},
 		Notes:  "total rounds = (#MWU solves) × (per-solve rounds) — the §5 structure; values match exactly on these instances",
 	}
+	var pts []point
 	for _, c := range cases {
-		a := &apps.ApproxMaxFlow{Mode: core.ModeUniversal, Epsilon: 0.1, Seed: 1, Trace: cfg.Trace}
-		res, err := a.Run(c.g, c.s, c.t)
-		if err != nil {
-			return nil, err
-		}
-		perSolve := 0.0
-		if res.Solves > 0 {
-			perSolve = float64(res.Rounds) / float64(res.Solves)
-		}
-		t.Rows = append(t.Rows, []string{
-			c.name, itoa(int(res.ExactValue)), itoa(int(res.Value)),
-			itoa(res.Solves), itoa(res.Rounds), ftoa(perSolve),
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			a := &apps.ApproxMaxFlow{Mode: core.ModeUniversal, Epsilon: 0.1, Seed: 1, Trace: tr}
+			res, err := a.Run(c.mk(), c.s, c.t)
+			if err != nil {
+				return nil, err
+			}
+			perSolve := 0.0
+			if res.Solves > 0 {
+				perSolve = float64(res.Rounds) / float64(res.Solves)
+			}
+			return row(
+				c.name, itoa(int(res.ExactValue)), itoa(int(res.Value)),
+				itoa(res.Solves), itoa(res.Rounds), ftoa(perSolve),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

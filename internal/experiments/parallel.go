@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"distlap/internal/graph"
+	"distlap/internal/simtrace"
+)
+
+// A point is one independent sweep point of an experiment: it builds its
+// own graph, network(s) and derived seeds, traces into the private
+// collector it is handed, and returns the table rows it contributes.
+//
+// Isolation contract (DESIGN.md §7): a point must not share a
+// congest.Network, ncc.Network, *rand.Rand, or simtrace collector with any
+// other point, and must not mutate anything captured from the enclosing
+// runner. Graphs are rebuilt inside the point (the generators are
+// deterministic), so points are safe to execute on concurrent worker
+// goroutines in any order.
+type point func(tr simtrace.Collector) ([][]string, error)
+
+// workers resolves the worker-pool width for a config: Parallel if
+// positive, otherwise GOMAXPROCS.
+func (cfg Config) workers() int {
+	if cfg.Parallel > 0 {
+		return cfg.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints executes the sweep points of one experiment on a bounded
+// worker pool and assembles their rows in canonical order (the order of
+// pts). Each point traces into a private simtrace.Recorder; after all
+// points finish, the recorders are replayed into cfg.Trace in canonical
+// order. The output — rows and the byte stream reaching cfg.Trace — is
+// therefore identical for every pool width, including 1 (the parity test
+// in parallel_test.go pins this).
+//
+// On error, the first error in canonical point order is returned (not the
+// first to occur on the wall clock, which would be schedule-dependent).
+func runPoints(cfg Config, pts []point) ([][]string, error) {
+	type result struct {
+		rows [][]string
+		rec  *simtrace.Recorder
+		err  error
+	}
+	results := make([]result, len(pts))
+	tracing := cfg.Trace != nil
+
+	run := func(i int) {
+		var tr simtrace.Collector = simtrace.Nop{}
+		var rec *simtrace.Recorder
+		if tracing {
+			rec = simtrace.NewRecorder()
+			tr = rec
+		}
+		rows, err := pts[i](tr)
+		results[i] = result{rows: rows, rec: rec, err: err}
+	}
+
+	if w := cfg.workers(); w <= 1 || len(pts) <= 1 {
+		for i := range pts {
+			run(i)
+		}
+	} else {
+		if w > len(pts) {
+			w = len(pts)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range pts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+	var rows [][]string
+	for i := range results {
+		if tracing {
+			results[i].rec.Replay(cfg.Trace)
+		}
+		rows = append(rows, results[i].rows...)
+	}
+	return rows, nil
+}
+
+// row wraps a single table row as a point result.
+func row(cells ...string) [][]string { return [][]string{cells} }
+
+// namedGraph names a deterministic graph constructor. Runners sweep over
+// namedGraph families and call mk() inside each point, so every point owns
+// its graph instance (nothing is shared across workers).
+type namedGraph struct {
+	name string
+	mk   func() *graph.Graph
+}

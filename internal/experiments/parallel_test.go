@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"distlap/internal/simtrace"
+)
+
+// runTraced runs one experiment (quick sweeps) at the given pool width and
+// returns the rendered table bytes and the flushed JSONL trace bytes.
+func runTraced(t *testing.T, id string, parallel int) ([]byte, []byte) {
+	t.Helper()
+	var trace bytes.Buffer
+	jsonl := simtrace.NewJSONL(&trace)
+	tbl, err := RunWith(id, Config{Quick: true, Trace: jsonl, Parallel: parallel})
+	if err != nil {
+		t.Fatalf("%s at -parallel %d: %v", id, parallel, err)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatalf("%s at -parallel %d: flush: %v", id, parallel, err)
+	}
+	var table bytes.Buffer
+	tbl.Fprint(&table)
+	return table.Bytes(), trace.Bytes()
+}
+
+// TestParallelParity is the guard on the parallel harness's determinism
+// contract (DESIGN.md §7): for every experiment, a parallel run must
+// produce byte-identical tables AND byte-identical JSONL traces to the
+// sequential (-parallel 1) run, because points trace into private
+// recorders that are replayed in canonical sweep order.
+func TestParallelParity(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seqTable, seqTrace := runTraced(t, id, 1)
+			parTable, parTrace := runTraced(t, id, 4)
+			if !bytes.Equal(seqTable, parTable) {
+				t.Errorf("table diverged between -parallel 1 and 4:\nsequential:\n%s\nparallel:\n%s",
+					seqTable, parTable)
+			}
+			if !bytes.Equal(seqTrace, parTrace) {
+				t.Errorf("JSONL trace diverged between -parallel 1 and 4 (%d vs %d bytes)",
+					len(seqTrace), len(parTrace))
+			}
+		})
+	}
+}
+
+// TestParallelParityUntraced checks the table-only path (Trace == nil): no
+// recorders are allocated, and rows still assemble in canonical order.
+func TestParallelParityUntraced(t *testing.T) {
+	for _, id := range []string{"E1", "E8", "E9a"} {
+		seq, err := RunWith(id, Config{Quick: true, Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunWith(id, Config{Quick: true, Parallel: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		seq.Fprint(&a)
+		par.Fprint(&b)
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: untraced tables diverged", id)
+		}
+	}
+}

@@ -32,14 +32,10 @@ func congestedRounds(g *graph.Graph, inst *partwise.Instance, seed int64, tr sim
 // against the p²·tw·D reference scaling.
 func E6(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "caterpillar", g: graph.Caterpillar(12, 2)},
-		{name: "tree", g: graph.CompleteTree(2, 6)},
-		{name: "cycle", g: graph.Cycle(36)},
+	fams := []namedGraph{
+		{name: "caterpillar", mk: func() *graph.Graph { return graph.Caterpillar(12, 2) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 6) }},
+		{name: "cycle", mk: func() *graph.Graph { return graph.Cycle(36) }},
 	}
 	ps := []int{1, 2, 4, 6}
 	if quick {
@@ -52,21 +48,28 @@ func E6(cfg Config) (*Table, error) {
 		Header: []string{"family", "tw", "D", "p", "rounds", "rounds/(p^2·tw·D)"},
 		Notes:  "the normalized column stays bounded as p grows (Õ(p²·tw·D) scaling)",
 	}
+	var pts []point
 	for _, f := range fams {
-		tw := treewidth.Heuristic(f.g).Width()
-		d := graph.Diameter(f.g)
 		for _, p := range ps {
-			inst := partwise.RandomCongestedInstance(f.g, p, 4, 11)
-			rounds, err := congestedRounds(f.g, inst, 5, cfg.Trace)
-			if err != nil {
-				return nil, err
-			}
-			norm := float64(rounds) / float64(p*p*tw*d)
-			t.Rows = append(t.Rows, []string{
-				f.name, itoa(tw), itoa(d), itoa(p), itoa(rounds), ftoa(norm),
+			pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+				g := f.mk()
+				tw := treewidth.Heuristic(g).Width()
+				d := graph.Diameter(g)
+				inst := partwise.RandomCongestedInstance(g, p, 4, 11)
+				rounds, err := congestedRounds(g, inst, 5, tr)
+				if err != nil {
+					return nil, err
+				}
+				norm := float64(rounds) / float64(p*p*tw*d)
+				return row(f.name, itoa(tw), itoa(d), itoa(p), itoa(rounds), ftoa(norm)), nil
 			})
 		}
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -74,14 +77,10 @@ func E6(cfg Config) (*Table, error) {
 // p (Supported-CONGEST), versus the naive per-layer decomposition.
 func E7(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(8, 8)},
-		{name: "widegrid", g: graph.Grid(4, 16)},
-		{name: "expander", g: graph.RandomRegular(64, 4, 9)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(8, 8) }},
+		{name: "widegrid", mk: func() *graph.Graph { return graph.Grid(4, 16) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(64, 4, 9) }},
 	}
 	ps := []int{1, 2, 4, 8}
 	if quick {
@@ -94,24 +93,33 @@ func E7(cfg Config) (*Table, error) {
 		Header: []string{"family", "D", "p", "layered rounds", "rounds/p", "naive rounds"},
 		Notes:  "rounds/p stays ~flat (linear p dependence); naive = NaiveGlobalSolver on the same instance",
 	}
+	var pts []point
 	for _, f := range fams {
-		d := graph.Diameter(f.g)
 		for _, p := range ps {
-			inst := partwise.RandomCongestedInstance(f.g, p, 4, 13)
-			rounds, err := congestedRounds(f.g, inst, 3, cfg.Trace)
-			if err != nil {
-				return nil, err
-			}
-			naive := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 3, Trace: cfg.Trace})
-			if _, err := (partwise.NaiveGlobalSolver{}).Solve(naive, inst, partwise.Min); err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f.name, itoa(d), itoa(p), itoa(rounds),
-				ftoa(float64(rounds) / float64(p)), itoa(naive.Rounds()),
+			pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+				g := f.mk()
+				d := graph.Diameter(g)
+				inst := partwise.RandomCongestedInstance(g, p, 4, 13)
+				rounds, err := congestedRounds(g, inst, 3, tr)
+				if err != nil {
+					return nil, err
+				}
+				naive := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 3, Trace: tr})
+				if _, err := (partwise.NaiveGlobalSolver{}).Solve(naive, inst, partwise.Min); err != nil {
+					return nil, err
+				}
+				return row(
+					f.name, itoa(d), itoa(p), itoa(rounds),
+					ftoa(float64(rounds)/float64(p)), itoa(naive.Rounds()),
+				), nil
 			})
 		}
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -130,32 +138,40 @@ func E8(cfg Config) (*Table, error) {
 		Header: []string{"n", "p", "rounds", "p + log2(n)", "ratio"},
 		Notes:  "rounds track p + log n, not p·log n or k",
 	}
+	var pts []point
 	for _, n := range ns {
-		side := 1
-		for side*side < n {
-			side++
-		}
-		g := graph.Grid(side, side)
 		for _, p := range ps {
-			inst := partwise.RandomCongestedInstance(g, p, 6, 17)
-			nw := ncc.NewNetworkWith(g.N(), simtrace.OrNop(cfg.Trace))
-			out, err := nw.Aggregate(inst, partwise.Min)
-			if err != nil {
-				return nil, err
-			}
-			want := inst.Expected(partwise.Min)
-			for i := range want {
-				if out[i] != want[i] {
-					return nil, fmt.Errorf("E8: wrong aggregate")
+			pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+				side := 1
+				for side*side < n {
+					side++
 				}
-			}
-			ref := p + log2(g.N())
-			t.Rows = append(t.Rows, []string{
-				itoa(g.N()), itoa(p), itoa(nw.Rounds()), itoa(ref),
-				ftoa(float64(nw.Rounds()) / float64(ref)),
+				g := graph.Grid(side, side)
+				inst := partwise.RandomCongestedInstance(g, p, 6, 17)
+				nw := ncc.NewNetworkWith(g.N(), simtrace.OrNop(tr))
+				out, err := nw.Aggregate(inst, partwise.Min)
+				if err != nil {
+					return nil, err
+				}
+				want := inst.Expected(partwise.Min)
+				for i := range want {
+					if out[i] != want[i] {
+						return nil, fmt.Errorf("E8: wrong aggregate")
+					}
+				}
+				ref := p + log2(g.N())
+				return row(
+					itoa(g.N()), itoa(p), itoa(nw.Rounds()), itoa(ref),
+					ftoa(float64(nw.Rounds())/float64(ref)),
+				), nil
 			})
 		}
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

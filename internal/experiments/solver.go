@@ -10,6 +10,7 @@ import (
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
 	"distlap/internal/partwise"
+	"distlap/internal/simtrace"
 )
 
 // E9a — Theorem 2, the log(1/ε) factor: solver rounds versus the requested
@@ -20,27 +21,35 @@ func E9a(cfg Config) (*Table, error) {
 	if quick {
 		tols = []float64{1e-2, 1e-6, 1e-10}
 	}
-	g := graph.Grid(10, 10)
-	b := linalg.RandomBVector(g.N(), 5)
 	t := &Table{
 		ID:     "E9a",
 		Title:  "solver rounds vs accuracy (Theorem 2: log(1/ε) dependence)",
 		Header: []string{"eps", "iterations", "rounds", "rounds/log10(1/eps)"},
 		Notes:  "rounds per decade of accuracy stays ~constant — the log(1/ε) factor",
 	}
+	var pts []point
 	for _, tol := range tols {
-		res, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
-			Mode: core.ModeUniversal, Tol: tol, Seed: 1, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		dec := math.Log10(1 / tol)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0e", tol), itoa(res.Iterations), itoa(res.Rounds),
-			ftoa(float64(res.Rounds) / dec),
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := graph.Grid(10, 10)
+			b := linalg.RandomBVector(g.N(), 5)
+			res, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+				Mode: core.ModeUniversal, Tol: tol, Seed: 1, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			dec := math.Log10(1 / tol)
+			return row(
+				fmt.Sprintf("%.0e", tol), itoa(res.Iterations), itoa(res.Rounds),
+				ftoa(float64(res.Rounds)/dec),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -51,20 +60,16 @@ func E9a(cfg Config) (*Table, error) {
 // crossover the universal-optimality story predicts.
 func E9b(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(12, 12)},
-		{name: "tree", g: graph.CompleteTree(2, 8)},
-		{name: "expander", g: graph.RandomRegular(256, 4, 5)},
-		{name: "star-of-paths", g: graph.Caterpillar(4, 60)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(12, 12) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 8) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(256, 4, 5) }},
+		{name: "star-of-paths", mk: func() *graph.Graph { return graph.Caterpillar(4, 60) }},
 	}
 	if quick {
-		fams = []fam{
-			{name: "grid", g: graph.Grid(8, 8)},
-			{name: "expander", g: graph.RandomRegular(64, 4, 5)},
+		fams = []namedGraph{
+			{name: "grid", mk: func() *graph.Graph { return graph.Grid(8, 8) }},
+			{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(64, 4, 5) }},
 		}
 	}
 	t := &Table{
@@ -73,27 +78,36 @@ func E9b(cfg Config) (*Table, error) {
 		Header: []string{"family", "n", "D", "sqrt(n)", "universal r/it", "baseline r/it", "speedup"},
 		Notes:  "on low-D graphs the baseline pays Θ(k + D) per iteration at the global root; the universal solver pays ~cluster-diameter",
 	}
+	var pts []point
 	for _, f := range fams {
-		b := linalg.RandomBVector(f.g.N(), 3)
-		resU, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
-			Mode: core.ModeUniversal, Tol: 1e-6, Seed: 2, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		resB, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
-			Mode: core.ModeBaseline, Tol: 1e-6, Seed: 2, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		perU := float64(resU.Rounds) / float64(resU.Iterations)
-		perB := float64(resB.Rounds) / float64(resB.Iterations)
-		t.Rows = append(t.Rows, []string{
-			f.name, itoa(f.g.N()), itoa(graph.DiameterApprox(f.g)),
-			itoa(isqrt(f.g.N())), ftoa(perU), ftoa(perB), ftoa(perB / perU),
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := f.mk()
+			b := linalg.RandomBVector(g.N(), 3)
+			resU, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+				Mode: core.ModeUniversal, Tol: 1e-6, Seed: 2, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resB, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+				Mode: core.ModeBaseline, Tol: 1e-6, Seed: 2, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			perU := float64(resU.Rounds) / float64(resU.Iterations)
+			perB := float64(resB.Rounds) / float64(resB.Iterations)
+			return row(
+				f.name, itoa(g.N()), itoa(graph.DiameterApprox(g)),
+				itoa(isqrt(g.N())), ftoa(perU), ftoa(perB), ftoa(perB/perU),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -101,20 +115,16 @@ func E9b(cfg Config) (*Table, error) {
 // independent, while the CONGEST solver's grow with the diameter.
 func E10(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "path", g: graph.Path(256)},
-		{name: "grid", g: graph.Grid(16, 16)},
-		{name: "widegrid", g: graph.Grid(4, 64)},
-		{name: "expander", g: graph.RandomRegular(256, 4, 3)},
+	fams := []namedGraph{
+		{name: "path", mk: func() *graph.Graph { return graph.Path(256) }},
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(16, 16) }},
+		{name: "widegrid", mk: func() *graph.Graph { return graph.Grid(4, 64) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(256, 4, 3) }},
 	}
 	if quick {
-		fams = []fam{
-			{name: "path", g: graph.Path(64)},
-			{name: "expander", g: graph.RandomRegular(64, 4, 3)},
+		fams = []namedGraph{
+			{name: "path", mk: func() *graph.Graph { return graph.Path(64) }},
+			{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(64, 4, 3) }},
 		}
 	}
 	t := &Table{
@@ -123,27 +133,36 @@ func E10(cfg Config) (*Table, error) {
 		Header: []string{"family", "n", "D", "congest rounds", "hybrid rounds", "hybrid r/it", "speedup"},
 		Notes:  "hybrid rounds/iteration stay near-constant across topologies (n^{o(1)} log(1/ε) shape)",
 	}
+	var pts []point
 	for _, f := range fams {
-		b := linalg.RandomBVector(f.g.N(), 7)
-		resC, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
-			Mode: core.ModeUniversal, Tol: 1e-6, Seed: 4, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		resH, _, err := core.SolveOnGraphWith(f.g, b, core.SolveConfig{
-			Mode: core.ModeHybrid, Tol: 1e-6, Seed: 4, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			f.name, itoa(f.g.N()), itoa(graph.DiameterApprox(f.g)),
-			itoa(resC.Rounds), itoa(resH.Rounds),
-			ftoa(float64(resH.Rounds) / float64(resH.Iterations)),
-			ftoa(float64(resC.Rounds) / float64(resH.Rounds)),
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := f.mk()
+			b := linalg.RandomBVector(g.N(), 7)
+			resC, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+				Mode: core.ModeUniversal, Tol: 1e-6, Seed: 4, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resH, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+				Mode: core.ModeHybrid, Tol: 1e-6, Seed: 4, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return row(
+				f.name, itoa(g.N()), itoa(graph.DiameterApprox(g)),
+				itoa(resC.Rounds), itoa(resH.Rounds),
+				ftoa(float64(resH.Rounds)/float64(resH.Iterations)),
+				ftoa(float64(resC.Rounds)/float64(resH.Rounds)),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -152,14 +171,10 @@ func E10(cfg Config) (*Table, error) {
 // families, with the PWA-based verifier as reference.
 func E11(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(6, 6)},
-		{name: "tree", g: graph.CompleteTree(2, 5)},
-		{name: "expander", g: graph.RandomRegular(36, 4, 11)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(6, 6) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 5) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(36, 4, 11) }},
 	}
 	if quick {
 		fams = fams[:2]
@@ -170,36 +185,47 @@ func E11(cfg Config) (*Table, error) {
 		Header: []string{"family", "instance", "want", "laplacian", "lap rounds", "pwa", "pwa rounds", "D"},
 		Notes:  "the reduction matches the PWA verifier on every instance; both need Ω(D) ≤ Ω̃(SQ) rounds",
 	}
+	var pts []point
 	for _, f := range fams {
-		mst, _ := graph.MST(f.g)
-		cases := []struct {
-			name  string
-			edges []graph.EdgeID
-			want  bool
-		}{
-			{name: "spanning-tree", edges: mst, want: true},
-			{name: "tree-minus-edge", edges: mst[1:], want: false},
-		}
-		for _, cse := range cases {
-			lap, err := apps.SpanningConnectedViaLaplacian(f.g, cse.edges, core.ModeUniversal, 1)
-			if err != nil {
-				return nil, err
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := f.mk()
+			mst, _ := graph.MST(g)
+			cases := []struct {
+				name  string
+				edges []graph.EdgeID
+				want  bool
+			}{
+				{name: "spanning-tree", edges: mst, want: true},
+				{name: "tree-minus-edge", edges: mst[1:], want: false},
 			}
-			nw := congest.NewNetwork(f.g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
-			pwa, err := apps.SpanningConnectedViaPWA(nw, cse.edges, partwise.NewShortcutSolver())
-			if err != nil {
-				return nil, err
+			var rows [][]string
+			for _, cse := range cases {
+				lap, err := apps.SpanningConnectedViaLaplacian(g, cse.edges, core.ModeUniversal, 1)
+				if err != nil {
+					return nil, err
+				}
+				nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: tr})
+				pwa, err := apps.SpanningConnectedViaPWA(nw, cse.edges, partwise.NewShortcutSolver())
+				if err != nil {
+					return nil, err
+				}
+				if lap.Connected != cse.want || pwa.Connected != cse.want {
+					return nil, fmt.Errorf("E11: %s/%s misclassified", f.name, cse.name)
+				}
+				rows = append(rows, []string{
+					f.name, cse.name, boolStr(cse.want), boolStr(lap.Connected),
+					itoa(lap.Rounds), boolStr(pwa.Connected), itoa(pwa.Rounds),
+					itoa(graph.DiameterApprox(g)),
+				})
 			}
-			if lap.Connected != cse.want || pwa.Connected != cse.want {
-				return nil, fmt.Errorf("E11: %s/%s misclassified", f.name, cse.name)
-			}
-			t.Rows = append(t.Rows, []string{
-				f.name, cse.name, boolStr(cse.want), boolStr(lap.Connected),
-				itoa(lap.Rounds), boolStr(pwa.Connected), itoa(pwa.Rounds),
-				itoa(graph.DiameterApprox(f.g)),
-			})
-		}
+			return rows, nil
+		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"distlap/internal/core"
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
+	"distlap/internal/simtrace"
 )
 
 // E14 — the low-stretch preconditioning substrate (the tree family behind
@@ -14,15 +15,11 @@ import (
 // tree choice on the distributed tree-preconditioned solve.
 func E14(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(14, 14)},
-		{name: "torus", g: graph.Torus(10, 10)},
-		{name: "expander", g: graph.RandomRegular(128, 4, 3)},
-		{name: "weighted", g: graph.RandomConnected(100, 200, 50, 7)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(14, 14) }},
+		{name: "torus", mk: func() *graph.Graph { return graph.Torus(10, 10) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(128, 4, 3) }},
+		{name: "weighted", mk: func() *graph.Graph { return graph.RandomConnected(100, 200, 50, 7) }},
 	}
 	if quick {
 		fams = fams[:2]
@@ -33,41 +30,49 @@ func E14(cfg Config) (*Table, error) {
 		Header: []string{"family", "stretch BFS", "stretch MST", "stretch LST", "iters BFS-tree", "iters LST-tree"},
 		Notes:  "stretch = mean weighted detour resistance; iters = PCG iterations with the tree preconditioner at eps=1e-8",
 	}
+	var pts []point
 	for _, f := range fams {
-		g := f.g
-		bfs := graph.BFSTree(g, graph.ApproxCenter(g))
-		mstIDs, _ := graph.MST(g)
-		mst := graph.TreeFromEdges(g, mstIDs, graph.ApproxCenter(g))
-		lst := graph.LowStretchTree(g, 1)
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := f.mk()
+			bfs := graph.BFSTree(g, graph.ApproxCenter(g))
+			mstIDs, _ := graph.MST(g)
+			mst := graph.TreeFromEdges(g, mstIDs, graph.ApproxCenter(g))
+			lst := graph.LowStretchTree(g, 1)
 
-		b := linalg.RandomBVector(g.N(), 5)
-		iters := func(pre core.Preconditioner) (int, error) {
-			nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
-			c, err := core.NewCongestComm(nw, false)
-			if err != nil {
-				return 0, err
+			b := linalg.RandomBVector(g.N(), 5)
+			iters := func(pre core.Preconditioner) (int, error) {
+				nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: tr})
+				c, err := core.NewCongestComm(nw, false)
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.Solve(c, b, core.Options{Tol: 1e-8, Precond: pre})
+				if err != nil {
+					return 0, err
+				}
+				return res.Iterations, nil
 			}
-			res, err := core.Solve(c, b, core.Options{Tol: 1e-8, Precond: pre})
+			itBFS, err := iters(&core.TreePrecond{})
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return res.Iterations, nil
-		}
-		itBFS, err := iters(&core.TreePrecond{})
-		if err != nil {
-			return nil, err
-		}
-		itLST, err := iters(&core.TreePrecond{LowStretch: true, Seed: 1})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			f.name,
-			ftoa(graph.AverageStretch(g, bfs)),
-			ftoa(graph.AverageStretch(g, mst)),
-			ftoa(graph.AverageStretch(g, lst)),
-			itoa(itBFS), itoa(itLST),
+			itLST, err := iters(&core.TreePrecond{LowStretch: true, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return row(
+				f.name,
+				ftoa(graph.AverageStretch(g, bfs)),
+				ftoa(graph.AverageStretch(g, mst)),
+				ftoa(graph.AverageStretch(g, lst)),
+				itoa(itBFS), itoa(itLST),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

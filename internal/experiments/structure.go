@@ -9,6 +9,7 @@ import (
 	"distlap/internal/minor"
 	"distlap/internal/partwise"
 	"distlap/internal/shortcut"
+	"distlap/internal/simtrace"
 	"distlap/internal/treewidth"
 )
 
@@ -29,38 +30,46 @@ func E1(cfg Config) (*Table, error) {
 		Header: []string{"s", "n", "p", "parts k", "1-cong classes", "layered rounds", "per-class seq rounds"},
 		Notes:  "classes = k = Θ(√n) despite p = 2; the layered solver needs one pipeline, not k",
 	}
+	var pts []point
 	for _, s := range sizes {
-		g, inst := partwise.HookCongestedInstance(s)
-		classes := partwise.MinOneCongestedCover(inst.Parts)
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g, inst := partwise.HookCongestedInstance(s)
+			classes := partwise.MinOneCongestedCover(inst.Parts)
 
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
-		out, err := partwise.NewLayeredSolver(7).Solve(nw, inst, partwise.Min)
-		if err != nil {
-			return nil, err
-		}
-		want := inst.Expected(partwise.Min)
-		for i := range want {
-			if out[i] != want[i] {
-				return nil, fmt.Errorf("E1: s=%d wrong aggregate", s)
-			}
-		}
-		// Sequential per-class solves: each class is a 1-congested
-		// sub-instance; measure the total of solving them one by one.
-		seq := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: cfg.Trace})
-		for i := range inst.Parts {
-			sub := &partwise.Instance{
-				Parts:  inst.Parts[i : i+1],
-				Values: inst.Values[i : i+1],
-			}
-			if _, err := partwise.NewShortcutSolver().Solve(seq, sub, partwise.Min); err != nil {
+			nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: tr})
+			out, err := partwise.NewLayeredSolver(7).Solve(nw, inst, partwise.Min)
+			if err != nil {
 				return nil, err
 			}
-		}
-		t.Rows = append(t.Rows, []string{
-			itoa(s), itoa(g.N()), "2", itoa(len(inst.Parts)), itoa(classes),
-			itoa(nw.Rounds()), itoa(seq.Rounds()),
+			want := inst.Expected(partwise.Min)
+			for i := range want {
+				if out[i] != want[i] {
+					return nil, fmt.Errorf("E1: s=%d wrong aggregate", s)
+				}
+			}
+			// Sequential per-class solves: each class is a 1-congested
+			// sub-instance; measure the total of solving them one by one.
+			seq := congest.NewNetwork(g, congest.Options{Supported: true, Seed: 1, Trace: tr})
+			for i := range inst.Parts {
+				sub := &partwise.Instance{
+					Parts:  inst.Parts[i : i+1],
+					Values: inst.Values[i : i+1],
+				}
+				if _, err := partwise.NewShortcutSolver().Solve(seq, sub, partwise.Min); err != nil {
+					return nil, err
+				}
+			}
+			return row(
+				itoa(s), itoa(g.N()), "2", itoa(len(inst.Parts)), itoa(classes),
+				itoa(nw.Rounds()), itoa(seq.Rounds()),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -74,42 +83,50 @@ func E2(cfg Config) (*Table, error) {
 	if quick {
 		ps = []int{1, 2, 4}
 	}
-	base := graph.Grid(6, 6)
 	t := &Table{
 		ID:     "E2",
 		Title:  "simulating the layered graph in G (Fig. 2, Lemma 16)",
 		Header: []string{"p", "layered n", "layered rounds", "simulated rounds", "overhead"},
 		Notes:  "overhead = simulated/layered = p by construction; layered rounds stay ~flat (Theorem 22)",
 	}
+	var pts []point
 	for _, p := range ps {
-		lay, err := layered.New(base, p)
-		if err != nil {
-			return nil, err
-		}
-		nw := congest.NewNetwork(lay.G, congest.Options{Supported: true, Seed: 3, Trace: cfg.Trace})
-		// Workload: aggregate over each layer (p disjoint copies of G as
-		// parts).
-		inst := &partwise.Instance{}
-		for l := 0; l < p; l++ {
-			part := make([]graph.NodeID, base.N())
-			vals := make([]congest.Word, base.N())
-			for v := 0; v < base.N(); v++ {
-				part[v] = lay.Copy(v, l)
-				vals[v] = congest.Word(v)
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			base := graph.Grid(6, 6)
+			lay, err := layered.New(base, p)
+			if err != nil {
+				return nil, err
 			}
-			inst.Parts = append(inst.Parts, part)
-			inst.Values = append(inst.Values, vals)
-		}
-		if _, err := partwise.NewShortcutSolver().Solve(nw, inst, partwise.Max); err != nil {
-			return nil, err
-		}
-		layRounds := nw.Rounds()
-		sim := lay.SimulatedRounds(layRounds)
-		t.Rows = append(t.Rows, []string{
-			itoa(p), itoa(lay.G.N()), itoa(layRounds), itoa(sim),
-			ftoa(float64(sim) / float64(layRounds)),
+			nw := congest.NewNetwork(lay.G, congest.Options{Supported: true, Seed: 3, Trace: tr})
+			// Workload: aggregate over each layer (p disjoint copies of G as
+			// parts).
+			inst := &partwise.Instance{}
+			for l := 0; l < p; l++ {
+				part := make([]graph.NodeID, base.N())
+				vals := make([]congest.Word, base.N())
+				for v := 0; v < base.N(); v++ {
+					part[v] = lay.Copy(v, l)
+					vals[v] = congest.Word(v)
+				}
+				inst.Parts = append(inst.Parts, part)
+				inst.Values = append(inst.Values, vals)
+			}
+			if _, err := partwise.NewShortcutSolver().Solve(nw, inst, partwise.Max); err != nil {
+				return nil, err
+			}
+			layRounds := nw.Rounds()
+			sim := lay.SimulatedRounds(layRounds)
+			return row(
+				itoa(p), itoa(lay.G.N()), itoa(layRounds), itoa(sim),
+				ftoa(float64(sim)/float64(layRounds)),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -117,16 +134,12 @@ func E2(cfg Config) (*Table, error) {
 // bound across graph families.
 func E3(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "path", g: graph.Path(12)},
-		{name: "tree", g: graph.CompleteTree(2, 4)},
-		{name: "caterpillar", g: graph.Caterpillar(5, 2)},
-		{name: "cycle", g: graph.Cycle(10)},
-		{name: "grid3x3", g: graph.Grid(3, 3)},
+	fams := []namedGraph{
+		{name: "path", mk: func() *graph.Graph { return graph.Path(12) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 4) }},
+		{name: "caterpillar", mk: func() *graph.Graph { return graph.Caterpillar(5, 2) }},
+		{name: "cycle", mk: func() *graph.Graph { return graph.Cycle(10) }},
+		{name: "grid3x3", mk: func() *graph.Graph { return graph.Grid(3, 3) }},
 	}
 	ps := []int{1, 2, 3, 4}
 	if quick {
@@ -139,34 +152,41 @@ func E3(cfg Config) (*Table, error) {
 		Header: []string{"family", "w(G)", "p", "heuristic w(G_p)", "bound p(w+1)-1", "within"},
 		Notes:  "heuristic width of Ĝ_p never exceeds the Lemma 19 bound (the lifted decomposition witnesses it)",
 	}
+	var pts []point
 	for _, f := range fams {
-		w := treewidth.Heuristic(f.g).Width()
 		for _, p := range ps {
-			lay, err := layered.New(f.g, p)
-			if err != nil {
-				return nil, err
-			}
-			// The lifted decomposition is a certified upper bound; also run
-			// the heuristic directly on the layered graph.
-			lifted := treewidth.LiftToLayered(treewidth.Heuristic(f.g), lay)
-			if err := lifted.Validate(lay.G); err != nil {
-				return nil, err
-			}
-			direct := treewidth.Heuristic(lay.G).Width()
-			bound := p*(w+1) - 1
-			hw := direct
-			if lifted.Width() < hw {
-				hw = lifted.Width()
-			}
-			ok := "yes"
-			if hw > bound {
-				ok = "NO"
-			}
-			t.Rows = append(t.Rows, []string{
-				f.name, itoa(w), itoa(p), itoa(hw), itoa(bound), ok,
+			pts = append(pts, func(simtrace.Collector) ([][]string, error) {
+				g := f.mk()
+				w := treewidth.Heuristic(g).Width()
+				lay, err := layered.New(g, p)
+				if err != nil {
+					return nil, err
+				}
+				// The lifted decomposition is a certified upper bound; also run
+				// the heuristic directly on the layered graph.
+				lifted := treewidth.LiftToLayered(treewidth.Heuristic(g), lay)
+				if err := lifted.Validate(lay.G); err != nil {
+					return nil, err
+				}
+				direct := treewidth.Heuristic(lay.G).Width()
+				bound := p*(w+1) - 1
+				hw := direct
+				if lifted.Width() < hw {
+					hw = lifted.Width()
+				}
+				ok := "yes"
+				if hw > bound {
+					ok = "NO"
+				}
+				return row(f.name, itoa(w), itoa(p), itoa(hw), itoa(bound), ok), nil
 			})
 		}
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -184,20 +204,28 @@ func E4(cfg Config) (*Table, error) {
 		Header: []string{"s", "n(G)", "δ̂(G) (greedy)", "δ̂(Ĝ2) (certified)", "s/2"},
 		Notes:  "δ̂(Ĝ2) ≥ s/2 = Ω(√n); the base grid is planar so any certified density stays < 3",
 	}
+	var pts []point
 	for _, s := range sizes {
-		lay, cert, err := minor.Observation21(s)
-		if err != nil {
-			return nil, err
-		}
-		base := graph.Grid(s, s)
-		baseCert := minor.GreedyDenseMinor(base, 2)
-		t.Rows = append(t.Rows, []string{
-			itoa(s), itoa(base.N()),
-			ftoa(baseCert.Density(base)),
-			ftoa(cert.Density(lay.G)),
-			ftoa(float64(s) / 2),
+		pts = append(pts, func(simtrace.Collector) ([][]string, error) {
+			lay, cert, err := minor.Observation21(s)
+			if err != nil {
+				return nil, err
+			}
+			base := graph.Grid(s, s)
+			baseCert := minor.GreedyDenseMinor(base, 2)
+			return row(
+				itoa(s), itoa(base.N()),
+				ftoa(baseCert.Density(base)),
+				ftoa(cert.Density(lay.G)),
+				ftoa(float64(s)/2),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -205,15 +233,11 @@ func E4(cfg Config) (*Table, error) {
 // within polylog factors of G's, independent of p.
 func E5(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(8, 8)},
-		{name: "widegrid", g: graph.Grid(3, 21)},
-		{name: "tree", g: graph.CompleteTree(2, 6)},
-		{name: "expander", g: graph.RandomRegular(64, 4, 7)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(8, 8) }},
+		{name: "widegrid", mk: func() *graph.Graph { return graph.Grid(3, 21) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 6) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(64, 4, 7) }},
 	}
 	ps := []int{2, 4}
 	if quick {
@@ -226,25 +250,34 @@ func E5(cfg Config) (*Table, error) {
 		Header: []string{"family", "Q̂(G)", "p", "Q̂(Ĝ_p)", "ratio"},
 		Notes:  "ratio Q̂(Ĝ_p)/Q̂(G) stays O(polylog), not Ω(p) (Theorem 22)",
 	}
+	var pts []point
 	for _, f := range fams {
-		estG, err := shortcut.EstimateSQ(f.g, 1)
-		if err != nil {
-			return nil, err
-		}
 		for _, p := range ps {
-			lay, err := layered.New(f.g, p)
-			if err != nil {
-				return nil, err
-			}
-			estL, err := shortcut.EstimateSQ(lay.G, 1)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f.name, itoa(estG.Upper), itoa(p), itoa(estL.Upper),
-				ftoa(float64(estL.Upper) / float64(estG.Upper)),
+			pts = append(pts, func(simtrace.Collector) ([][]string, error) {
+				g := f.mk()
+				estG, err := shortcut.EstimateSQ(g, 1)
+				if err != nil {
+					return nil, err
+				}
+				lay, err := layered.New(g, p)
+				if err != nil {
+					return nil, err
+				}
+				estL, err := shortcut.EstimateSQ(lay.G, 1)
+				if err != nil {
+					return nil, err
+				}
+				return row(
+					f.name, itoa(estG.Upper), itoa(p), itoa(estL.Upper),
+					ftoa(float64(estL.Upper)/float64(estG.Upper)),
+				), nil
 			})
 		}
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

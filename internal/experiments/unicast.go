@@ -4,6 +4,7 @@ import (
 	"distlap/internal/congest"
 	"distlap/internal/graph"
 	"distlap/internal/shortcut"
+	"distlap/internal/simtrace"
 )
 
 // E12 — Theorem 25 + Lemma 24: the any-to-any-cast completion time tracks
@@ -12,16 +13,12 @@ import (
 // classes (Lemma 24's O(p log k), certified by greedy coloring).
 func E12(cfg Config) (*Table, error) {
 	quick := cfg.Quick
-	type fam struct {
-		name string
-		g    *graph.Graph
-	}
-	fams := []fam{
-		{name: "grid", g: graph.Grid(8, 8)},
-		{name: "widegrid", g: graph.Grid(3, 21)},
-		{name: "tree", g: graph.CompleteTree(2, 6)},
-		{name: "expander", g: graph.RandomRegular(64, 4, 7)},
-		{name: "barbell", g: graph.Barbell(12, 2)},
+	fams := []namedGraph{
+		{name: "grid", mk: func() *graph.Graph { return graph.Grid(8, 8) }},
+		{name: "widegrid", mk: func() *graph.Graph { return graph.Grid(3, 21) }},
+		{name: "tree", mk: func() *graph.Graph { return graph.CompleteTree(2, 6) }},
+		{name: "expander", mk: func() *graph.Graph { return graph.RandomRegular(64, 4, 7) }},
+		{name: "barbell", mk: func() *graph.Graph { return graph.Barbell(12, 2) }},
 	}
 	if quick {
 		fams = fams[:3]
@@ -32,48 +29,56 @@ func E12(cfg Config) (*Table, error) {
 		Header: []string{"family", "k", "makespan", "Q̂ bracket", "p", "classes", "p·log2(k)"},
 		Notes:  "makespan stays within the [D̃, Q̂] bracket's order; greedy classes ≈ p·log k or better",
 	}
+	var pts []point
 	for _, f := range fams {
-		g := f.g
-		n := g.N()
-		k := isqrt(n)
-		// Sources: the k lowest-ID nodes; sinks: the k highest (a
-		// long-range demand pattern).
-		sources := make([]graph.NodeID, k)
-		sinks := make([]graph.NodeID, k)
-		for i := 0; i < k; i++ {
-			sources[i] = i
-			sinks[i] = n - 1 - i
-		}
-		nw := congest.NewNetwork(g, congest.Options{Seed: 5, Trace: cfg.Trace})
-		sol, _, err := shortcut.SolveAnyToAnyCast(nw, sources, sinks)
-		if err != nil {
-			return nil, err
-		}
-		est, err := shortcut.EstimateSQ(g, 1)
-		if err != nil {
-			return nil, err
-		}
-		// Witness family: the connecting paths themselves.
-		w := &shortcut.WitnessFamily{}
-		for i, path := range sol.Paths {
-			nodes := []graph.NodeID{sources[i]}
-			v := sources[i]
-			for _, id := range path {
-				v = g.Other(id, v)
-				nodes = append(nodes, v)
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			g := f.mk()
+			n := g.N()
+			k := isqrt(n)
+			// Sources: the k lowest-ID nodes; sinks: the k highest (a
+			// long-range demand pattern).
+			sources := make([]graph.NodeID, k)
+			sinks := make([]graph.NodeID, k)
+			for i := 0; i < k; i++ {
+				sources[i] = i
+				sinks[i] = n - 1 - i
 			}
-			w.Paths = append(w.Paths, nodes)
-		}
-		p := w.NodeCongestion()
-		classes := w.DecomposeDisjoint()
-		if err := w.Validate(g, classes); err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			f.name, itoa(k), itoa(sol.Makespan),
-			"[" + itoa(est.Lower) + "," + itoa(est.Upper) + "]",
-			itoa(p), itoa(len(classes)), itoa(p * log2(k)),
+			nw := congest.NewNetwork(g, congest.Options{Seed: 5, Trace: tr})
+			sol, _, err := shortcut.SolveAnyToAnyCast(nw, sources, sinks)
+			if err != nil {
+				return nil, err
+			}
+			est, err := shortcut.EstimateSQ(g, 1)
+			if err != nil {
+				return nil, err
+			}
+			// Witness family: the connecting paths themselves.
+			w := &shortcut.WitnessFamily{}
+			for i, path := range sol.Paths {
+				nodes := []graph.NodeID{sources[i]}
+				v := sources[i]
+				for _, id := range path {
+					v = g.Other(id, v)
+					nodes = append(nodes, v)
+				}
+				w.Paths = append(w.Paths, nodes)
+			}
+			p := w.NodeCongestion()
+			classes := w.DecomposeDisjoint()
+			if err := w.Validate(g, classes); err != nil {
+				return nil, err
+			}
+			return row(
+				f.name, itoa(k), itoa(sol.Makespan),
+				"["+itoa(est.Lower)+","+itoa(est.Upper)+"]",
+				itoa(p), itoa(len(classes)), itoa(p*log2(k)),
+			), nil
 		})
 	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

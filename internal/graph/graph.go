@@ -9,6 +9,12 @@
 // edges matter because the layered-graph reduction (Lemma 17 of the paper)
 // edge-colors a multigraph. Weights are positive integers in {1, ..., poly(n)}
 // as the paper assumes (§2, "General notation").
+//
+// Determinism obligations: generators and tree builders are pure functions
+// of (parameters, seed); node and edge IDs are dense and assignment-order
+// stable so other packages may index arrays by them; randomized
+// constructions (MPX shifts, random graphs) draw from rand chains seeded
+// via seedderive, never from global or clock-derived state.
 package graph
 
 import (

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"distlap/internal/seedderive"
 )
 
 // This file implements the low-diameter / low-stretch substrate the
@@ -166,7 +168,7 @@ func LowStretchTree(g *Graph, seed int64) *Tree {
 		}
 		// MPX-decompose the quotient; join each cluster with a BFS tree of
 		// quotient edges, realized by their original representatives.
-		clusters := MPXDecomposition(q, MPXOptions{Beta: beta, Seed: seed + int64(round)*7919})
+		clusters := MPXDecomposition(q, MPXOptions{Beta: beta, Seed: seedderive.Derive(seed, "lowstretch-mpx", int64(round))})
 		merged := false
 		for _, cl := range clusters {
 			if len(cl) < 2 {

@@ -4,6 +4,12 @@
 // coloring in O(log n) rounds (Lemma 17), and the embedding of a
 // path-restricted p-congested part-wise aggregation instance as a
 // 1-congested instance on Ĝ_{O(p)} (Lemma 18).
+//
+// Determinism obligations: Ĝ_p construction and the projection π are pure
+// functions of (G, p) with stable ID mappings; the Lemma 17 coloring is
+// randomized but replayable from its explicit seed; Lemma 16 simulation
+// charges its ×p overhead under the "layered" engine label so costs are
+// never double-attributed to the base network.
 package layered
 
 import (

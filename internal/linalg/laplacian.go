@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"distlap/internal/graph"
+	"distlap/internal/seedderive"
 )
 
 // Laplacian is the operator view of a weighted graph's Laplacian
@@ -164,7 +165,7 @@ func (l *Laplacian) RelativeLError(x, xStar []float64) float64 {
 // experiments: b[i] alternates structured values then is centered.
 func RandomBVector(n int, seed int64) []float64 {
 	b := make([]float64, n)
-	s := uint64(seed)*2654435761 + 12345
+	s := uint64(seedderive.Derive(seed, "bvector", 0))
 	for i := range b {
 		s = s*6364136223846793005 + 1442695040888963407
 		b[i] = float64(int64(s>>33)%1000) / 100.0

@@ -3,6 +3,12 @@
 // solver used as ground truth, and sequential iterative solvers (CG,
 // preconditioned CG, Chebyshev) that the distributed solver in
 // internal/core mirrors operation by operation.
+//
+// Determinism obligations: all iterations and reductions run in fixed
+// index order with no parallelism, so floating-point results are
+// bit-reproducible; convergence tests use tolerances, never float
+// equality (enforced by the floateq analyzer); RandomBVector derives its
+// stream via seedderive from the caller's explicit seed.
 package linalg
 
 import (

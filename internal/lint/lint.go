@@ -5,7 +5,8 @@
 //
 //  1. Determinism — identical seeds must produce identical executions, so
 //     no iteration over map order, no global or wall-clock-seeded
-//     randomness (analyzers maporder, seededrand);
+//     randomness, and no ad-hoc arithmetic deriving child seeds outside
+//     internal/seedderive (analyzers maporder, seededrand, seedderive);
 //  2. Metrics integrity — round/message accounting flows only through the
 //     congest/ncc charging primitives, never through direct field writes
 //     (analyzers metricsintegrity, floateq for the residual checks those
@@ -52,6 +53,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder(),
 		SeededRand(),
+		SeedDerive(),
 		MetricsIntegrity(),
 		FloatEq(),
 		TracePhase(),

@@ -60,6 +60,17 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			name: "seedderive",
+			dir:  "seedderive",
+			path: "distlap/internal/lintfixture/seedderive",
+			want: []string{
+				"a.go:8:7 seedderive",
+				"a.go:9:8 seedderive",
+				"a.go:10:2 seedderive",
+				"a.go:12:7 seedderive",
+			},
+		},
+		{
 			name: "metricsintegrity",
 			dir:  "metricsintegrity",
 			path: "distlap/internal/lintfixture/metricsintegrity",

@@ -17,6 +17,12 @@ import (
 //   - any time.Now call at all in simulator code (internal/... except
 //     internal/experiments, whose harness may legitimately time wall-clock
 //     durations).
+//
+// seededrand polices where entropy enters; its companion seedderive (see
+// SeedDerive) polices how one seed becomes many. Together they implement
+// the DESIGN.md §7 concurrency & determinism contract: every RNG stream
+// is a pure function of the explicit base seed and the point's position
+// in the sweep, never of wall clock or execution order.
 func SeededRand() *Analyzer {
 	return &Analyzer{
 		Name: "seededrand",

@@ -1,0 +1,19 @@
+package seedderive
+
+type opts struct {
+	Seed int64
+}
+
+func derive(seed int64, round int) int64 {
+	s := seed + int64(round)*7919 // ad-hoc offset: flagged
+	s2 := seed * 31               // ad-hoc multiply: flagged
+	seed += 1000003               // compound assignment: flagged
+	o := opts{Seed: seed}         // passing through unchanged: fine
+	x := o.Seed ^ 12345           // field access still counts: flagged
+	ok := use(seed, int64(round)) // call argument: fine
+	y := int64(round) * 7919      // no seed involved: fine
+	_, _, _, _, _ = s, s2, x, ok, y
+	return seed
+}
+
+func use(base, idx int64) int64 { return base }

@@ -2,6 +2,11 @@
 // and the Observation 21 construction (Figure 3): an explicit Ω(√n)-dense
 // minor inside the 2-layered version of a √n×√n grid, showing that —
 // unlike treewidth (Lemma 19) — minor density can blow up under layering.
+//
+// Determinism obligations: certificates are constructed by deterministic
+// sweeps over stable node IDs (no randomness, no map iteration), and every
+// reported density is validated against its explicit branch-set witness
+// before being returned.
 package minor
 
 import (

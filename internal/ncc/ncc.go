@@ -5,6 +5,12 @@
 // under per-node send and receive caps and measures rounds, and the
 // Aggregate method realizes Lemma 26: any p-congested part-wise aggregation
 // solved in O(p + log n) NCC rounds.
+//
+// Determinism obligations: batch scheduling iterates nodes and messages in
+// stable ID order, round counters are written only by this package's
+// delivery primitives (metricsintegrity), and an engine — like its HYBRID
+// partner network — is single-goroutine for its whole lifetime
+// (DESIGN.md §7).
 package ncc
 
 import (

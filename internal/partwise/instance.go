@@ -12,6 +12,12 @@
 //     (Lemma 15, following [29]) and the Lemma 18 path embedding, to
 //     1-congested instances on layered graphs Ĝ_{O(p)}, simulated in G with
 //     the Lemma 16 overhead.
+//
+// Determinism obligations: all three solvers return identical aggregation
+// values on identical instances (they differ only in measured cost);
+// per-level seeds in the layered solver come from seedderive, and part /
+// path processing follows stable instance order — a solve is replayable
+// from (graph, instance, seed).
 package partwise
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"distlap/internal/congest"
 	"distlap/internal/graph"
+	"distlap/internal/seedderive"
 	"distlap/internal/shortcut"
 )
 
@@ -197,7 +204,7 @@ func MinOneCongestedCover(parts [][]graph.NodeID) int {
 func RandomCongestedInstance(g *graph.Graph, p, partsPerLayer int, seed int64) *Instance {
 	inst := &Instance{}
 	for l := 0; l < p; l++ {
-		parts := shortcut.RandomConnectedPartition(g, partsPerLayer, seed+int64(l)*101)
+		parts := shortcut.RandomConnectedPartition(g, partsPerLayer, seedderive.Derive(seed, "instance-layer", int64(l)))
 		for _, part := range parts {
 			vals := make([]congest.Word, len(part))
 			for i, v := range part {

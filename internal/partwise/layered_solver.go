@@ -6,6 +6,7 @@ import (
 	"distlap/internal/congest"
 	"distlap/internal/graph"
 	"distlap/internal/layered"
+	"distlap/internal/seedderive"
 	"distlap/internal/shortcut"
 	"distlap/internal/simtrace"
 )
@@ -84,16 +85,15 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 
 	// 2–3. Upward sweep: deepest level first.
 	partAgg := make([]congest.Word, len(inst.Parts))
-	seed := s.Seed
 	tr.Begin("levels-up")
 	for lvl := maxLevel; lvl >= 0; lvl-- {
 		batch := byLevel[lvl]
-		aggs, err := s.solvePathBatch(nw, batch, valueAt, spec, seed)
+		aggs, err := s.solvePathBatch(nw, batch, valueAt, spec,
+			seedderive.Derive(s.Seed, "level-up", int64(lvl)))
 		if err != nil {
 			tr.End("levels-up")
 			return nil, fmt.Errorf("partwise: level %d up: %w", lvl, err)
 		}
-		seed += 1000003
 		if lvl == 0 {
 			for b, dp := range batch {
 				partAgg[dp.part] = aggs[b]
@@ -157,10 +157,9 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 					return w
 				}
 				return spec.Identity
-			}, spec, seed); err != nil {
+			}, spec, seedderive.Derive(s.Seed, "level-down", int64(lvl+1))); err != nil {
 			return nil, fmt.Errorf("partwise: level %d down: %w", lvl+1, err)
 		}
-		seed += 1000003
 	}
 	return partAgg, nil
 }
@@ -209,7 +208,7 @@ func (s LayeredSolver) solvePathBatch(
 	// "congest") below — two labels keep the accounting disjoint.
 	layNW := congest.NewNetwork(emb.Layered.G, congest.Options{
 		Supported:   nw.Supported(),
-		Seed:        seed + 17,
+		Seed:        seedderive.Derive(seed, "layered-network", 0),
 		Trace:       nw.Trace(),
 		TraceEngine: simtrace.EngineLayered,
 	})

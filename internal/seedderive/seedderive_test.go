@@ -1,0 +1,51 @@
+package seedderive
+
+import "testing"
+
+// TestDeterministic pins that Derive is a pure function: equal inputs give
+// equal outputs across calls (the replayability contract).
+func TestDeterministic(t *testing.T) {
+	for _, base := range []int64{0, 1, -1, 7, 1 << 40} {
+		for _, phase := range []string{"", "mpx-round", "cluster-cover"} {
+			for _, idx := range []int64{0, 1, 2, 100} {
+				a := Derive(base, phase, idx)
+				b := Derive(base, phase, idx)
+				if a != b {
+					t.Fatalf("Derive(%d,%q,%d) not stable: %d vs %d", base, phase, idx, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestNoCollisions checks the property the ad-hoc arithmetic lacked: child
+// seeds across nearby (base, phase, idx) combinations never coincide.
+func TestNoCollisions(t *testing.T) {
+	seen := make(map[int64]string)
+	phases := []string{"mpx-round", "cluster-cover", "level-up", "level-down", "mwu-solve"}
+	for base := int64(0); base < 8; base++ {
+		for _, ph := range phases {
+			for idx := int64(0); idx < 64; idx++ {
+				s := Derive(base, ph, idx)
+				key := string(rune(base)) + "/" + ph + "/" + string(rune(idx))
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("collision: %s and %s both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+// TestPhaseSeparation checks that the same index under different phases
+// yields different seeds — the cross-phase collision the old
+// seed+idx*prime scheme allowed.
+func TestPhaseSeparation(t *testing.T) {
+	for idx := int64(0); idx < 32; idx++ {
+		a := Derive(5, "phase-a", idx)
+		b := Derive(5, "phase-b", idx)
+		if a == b {
+			t.Fatalf("phases not separated at idx %d: both %d", idx, a)
+		}
+	}
+}

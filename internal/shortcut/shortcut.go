@@ -11,6 +11,12 @@
 // max(D-ish path bounds) a lower bound. Exact SQ is not computable at scale;
 // the paper's theorems are about scaling, which the brackets expose (see
 // DESIGN.md §1).
+//
+// Determinism obligations: builders are deterministic given (graph,
+// partition) — map-keyed folds sort their keys first (the region.go
+// pattern the maporder analyzer points to) — and every returned shortcut
+// carries a congestion/dilation certificate this package has verified, so
+// reported qualities are measurements, never estimates.
 package shortcut
 
 import (

@@ -1,0 +1,95 @@
+package simtrace
+
+// Recorder captures the raw event sequence of a traced execution so it can
+// be replayed later into another collector, byte-for-byte equivalent to
+// having traced into that collector directly. It is the mechanism behind
+// the deterministic parallel experiment harness (DESIGN.md §7): each sweep
+// point traces into its own private Recorder on a worker goroutine, and
+// the harness replays the recorders into the shared sink in canonical
+// sweep order — so the sink observes the exact event stream a sequential
+// run would have produced, regardless of worker interleaving.
+//
+// A Recorder is NOT safe for concurrent use; the contract is one Recorder
+// per goroutine, with Replay called only after the recording goroutine is
+// done (the harness's WaitGroup provides the happens-before edge).
+type Recorder struct {
+	events []event
+}
+
+// event is one recorded Collector call. kind selects which fields are live.
+type event struct {
+	kind eventKind
+	name string // Begin/End phase name, Counter name, or engine
+	edge int    // Messages dirEdge
+	n    int64  // Rounds/Messages/Counter quantity
+}
+
+type eventKind uint8
+
+const (
+	evBegin eventKind = iota
+	evEnd
+	evRounds
+	evMessages
+	evCounter
+)
+
+var _ Collector = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin implements Collector.
+func (r *Recorder) Begin(name string) {
+	r.events = append(r.events, event{kind: evBegin, name: name})
+}
+
+// End implements Collector.
+func (r *Recorder) End(name string) {
+	r.events = append(r.events, event{kind: evEnd, name: name})
+}
+
+// Rounds implements Collector.
+func (r *Recorder) Rounds(engine string, n int) {
+	r.events = append(r.events, event{kind: evRounds, name: engine, n: int64(n)})
+}
+
+// Messages implements Collector.
+func (r *Recorder) Messages(engine string, dirEdge int, n int64) {
+	r.events = append(r.events, event{kind: evMessages, name: engine, edge: dirEdge, n: n})
+}
+
+// Counter implements Collector.
+func (r *Recorder) Counter(name string, n int64) {
+	r.events = append(r.events, event{kind: evCounter, name: name, n: n})
+}
+
+// Flush implements Collector. Flushing a recording is a no-op: the
+// recorded execution's sink is flushed by whoever owns it, after Replay.
+func (r *Recorder) Flush() error { return nil }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Replay re-issues the recorded events, in order, against into. Calling
+// Replay on a nil or empty recorder is a no-op; Replay does not call
+// into.Flush.
+func (r *Recorder) Replay(into Collector) {
+	if r == nil {
+		return
+	}
+	for _, e := range r.events {
+		switch e.kind {
+		case evBegin:
+			into.Begin(e.name)
+		case evEnd:
+			into.End(e.name)
+		case evRounds:
+			into.Rounds(e.name, int(e.n))
+		case evMessages:
+			into.Messages(e.name, e.edge, e.n)
+		case evCounter:
+			into.Counter(e.name, e.n)
+		}
+	}
+}

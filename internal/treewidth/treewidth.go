@@ -2,6 +2,11 @@
 // heuristic width computation via elimination orderings, and the explicit
 // lifting of a decomposition of G to its layered graph Ĝ_p that witnesses
 // Lemma 19: tw(Ĝ_p) ≤ p·tw(G) + p − 1.
+//
+// Determinism obligations: elimination orderings break ties by node ID,
+// heuristics use no randomness, and every decomposition is checked for
+// validity (connected bags, covered edges) before its width is reported —
+// widths are certified by explicit witnesses.
 package treewidth
 
 import (
