@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test bench bench-smoke microbench trace-smoke
+.PHONY: check build vet lint test bench bench-smoke bench-compare microbench trace-smoke folded-artifact
 
 check: build vet lint test trace-smoke
 
@@ -37,6 +37,15 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -label ci -parallel 4 -verify
 
+# Regression gate: quick sweeps compared against the committed baseline
+# BENCH_seed_quick.json. Exits nonzero if rounds, messages, or max edge
+# load regress beyond 10% on any experiment; wall time is reported but
+# never gated. Regenerate the baselines after an intentional perf change:
+#   go run ./cmd/bench -quick -label seed_quick -parallel 1 -out BENCH_seed_quick.json
+#   go run ./cmd/bench -label seed -parallel 1 -out BENCH_seed.json
+bench-compare:
+	$(GO) run ./cmd/bench -quick -label ci -parallel 4 -compare BENCH_seed_quick.json
+
 # Go microbenchmarks (per-experiment testing.B harness in bench_test.go).
 microbench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -49,3 +58,12 @@ trace-smoke:
 	$(GO) run ./cmd/simtrace $(CURDIR)/.trace-smoke.jsonl >/dev/null
 	rm -f $(CURDIR)/.trace-smoke.jsonl
 	@echo trace-smoke: accounting identity holds
+
+# Flamegraph folded stacks for the solver experiment: a round-resolved
+# trace of E9b rendered as `path weight` lines (feed into flamegraph.pl or
+# speedscope). CI uploads the result as an artifact.
+folded-artifact:
+	$(GO) run ./cmd/experiments -quick -run E9b -series -trace $(CURDIR)/.e9b.jsonl >/dev/null
+	$(GO) run ./cmd/simtrace -folded $(CURDIR)/.e9b.jsonl > $(CURDIR)/e9b-folded.txt
+	rm -f $(CURDIR)/.e9b.jsonl
+	@echo folded-artifact: wrote e9b-folded.txt

@@ -1,8 +1,9 @@
 // Command bench executes the experiment suite E1–E14 and records the
 // repo's perf trajectory as BENCH_<label>.json: per-experiment wall time,
 // measured rounds, word-messages, and maximum directed-edge load, plus
-// whole-suite totals. Future changes compare their BENCH files against
-// committed ones to see whether a hot path got faster or slower.
+// whole-suite totals. -compare gates the deterministic metrics against a
+// committed baseline so perf regressions fail loudly instead of shipping
+// silently.
 //
 // Usage:
 //
@@ -10,13 +11,17 @@
 //	bench -quick -label ci      # reduced sweeps, BENCH_ci.json
 //	bench -parallel 8           # worker-pool width (default GOMAXPROCS)
 //	bench -verify               # also run at -parallel 1 and assert parity
+//	bench -compare BENCH_seed.json            # exit nonzero on regression
+//	bench -compare BENCH_seed.json -threshold 0.05
 //
 // Schema stability (documented in README "Benchmarking"): `schema` is
 // bumped on any incompatible change; `rounds`, `messages`, `max_edge_load`
 // and `rows` are deterministic for a given code version and mode (they are
 // simulator measurements, independent of -parallel and of the host);
 // `*_wall_ms` and `speedup` are wall-clock observations and vary by
-// machine and load. Experiments appear in canonical suite order.
+// machine and load. -compare gates only the deterministic metrics — wall
+// time is reported but never gated. Experiments appear in canonical suite
+// order.
 package main
 
 import (
@@ -29,35 +34,9 @@ import (
 	"time"
 
 	"distlap/internal/experiments"
+	"distlap/internal/simprof"
 	"distlap/internal/simtrace"
 )
-
-// benchFile is the top-level BENCH_<label>.json document. Field order here
-// is the emission order (encoding/json follows struct order), so the file
-// layout is stable.
-type benchFile struct {
-	Schema           int        `json:"schema"`
-	Label            string     `json:"label"`
-	Mode             string     `json:"mode"` // "quick" or "full"
-	Parallel         int        `json:"parallel"`
-	GOMAXPROCS       int        `json:"gomaxprocs"`
-	TotalWallMS      float64    `json:"total_wall_ms"`
-	SequentialWallMS float64    `json:"sequential_wall_ms,omitempty"` // -verify only
-	Speedup          float64    `json:"speedup,omitempty"`            // -verify only
-	Experiments      []benchExp `json:"experiments"`
-}
-
-// benchExp is one experiment's record.
-type benchExp struct {
-	ID          string  `json:"id"`
-	WallMS      float64 `json:"wall_ms"`
-	Rounds      int     `json:"rounds"`
-	Messages    int64   `json:"messages"`
-	MaxEdgeLoad int64   `json:"max_edge_load"`
-	Rows        int     `json:"rows"`
-}
-
-const schemaVersion = 1
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -73,6 +52,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "sweep-point worker-pool width (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "output path (default BENCH_<label>.json)")
 	verify := fs.Bool("verify", false, "re-run every experiment at -parallel 1 and require byte-identical tables and traces")
+	compare := fs.String("compare", "", "baseline BENCH_<label>.json to gate against; regressions exit nonzero")
+	threshold := fs.Float64("threshold", 0.10, "regression threshold for -compare (fraction; 0.10 = 10%)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,8 +62,8 @@ func run(args []string) error {
 		path = "BENCH_" + *label + ".json"
 	}
 
-	doc := benchFile{
-		Schema:     schemaVersion,
+	doc := simprof.BenchFile{
+		Schema:     simprof.BenchSchema,
 		Label:      *label,
 		Mode:       "full",
 		Parallel:   *parallel,
@@ -100,7 +81,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		rec := benchExp{ID: id, WallMS: toMS(wall)}
+		rec := simprof.BenchExp{ID: id, WallMS: toMS(wall)}
 		rec.Rows = bytes.Count(table, []byte("\n"))
 		for _, e := range mem.Engines() {
 			rec.Rounds += e.Rounds
@@ -146,6 +127,33 @@ func run(args []string) error {
 	if *verify {
 		fmt.Fprintf(os.Stderr, "bench: parity verified against the sequential oracle; speedup %.2fx\n", doc.Speedup)
 	}
+	if *compare != "" {
+		if err := compareAgainst(*compare, &doc, *threshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareAgainst gates doc's deterministic metrics against the baseline
+// file; any regression beyond threshold is an error (nonzero exit).
+func compareAgainst(baselinePath string, doc *simprof.BenchFile, threshold float64) error {
+	baseline, err := simprof.LoadBench(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	regs, err := simprof.CompareBench(baseline, doc, threshold)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION", r)
+		}
+		return fmt.Errorf("compare: %d metric(s) regressed beyond %.0f%% of %s", len(regs), 100*threshold, baselinePath)
+	}
+	fmt.Fprintf(os.Stderr, "bench: compare ok — no deterministic metric regressed beyond %.0f%% of %s (wall time is reported, never gated)\n",
+		100*threshold, baselinePath)
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"distlap/internal/simprof"
 )
 
 // TestQuickBenchWithVerify runs the whole quick suite with the sequential
@@ -21,12 +23,12 @@ func TestQuickBenchWithVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc benchFile
+	var doc simprof.BenchFile
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("BENCH file is not valid JSON: %v", err)
 	}
-	if doc.Schema != schemaVersion {
-		t.Errorf("schema: got %d, want %d", doc.Schema, schemaVersion)
+	if doc.Schema != simprof.BenchSchema {
+		t.Errorf("schema: got %d, want %d", doc.Schema, simprof.BenchSchema)
 	}
 	if doc.Mode != "quick" || doc.Label != "test" || doc.Parallel != 2 {
 		t.Errorf("header fields wrong: %+v", doc)
@@ -46,6 +48,39 @@ func TestQuickBenchWithVerify(t *testing.T) {
 	}
 	if doc.Speedup <= 0 {
 		t.Errorf("verify run must record a speedup, got %v", doc.Speedup)
+	}
+
+	// Regression gating on the just-measured data: the run must pass
+	// against its own BENCH file and fail against a synthetically inflated
+	// baseline (wall time stays exempt).
+	if err := compareAgainst(out, &doc, 0.10); err != nil {
+		t.Errorf("self-compare must pass: %v", err)
+	}
+	inflated := doc
+	inflated.Experiments = append([]simprof.BenchExp(nil), doc.Experiments...)
+	for i := range inflated.Experiments {
+		inflated.Experiments[i].WallMS *= 100 // never gated
+	}
+	if err := compareAgainst(out, &inflated, 0.10); err != nil {
+		t.Errorf("wall-time inflation must pass the gate: %v", err)
+	}
+	deflatedBaseline := filepath.Join(t.TempDir(), "BENCH_old.json")
+	old := doc
+	old.Experiments = append([]simprof.BenchExp(nil), doc.Experiments...)
+	for i := range old.Experiments {
+		// Shrink the recorded baseline so the current run reads as a >10%
+		// rounds regression on every experiment with nonzero rounds.
+		old.Experiments[i].Rounds = old.Experiments[i].Rounds * 2 / 3
+	}
+	data, err = json.Marshal(&old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(deflatedBaseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareAgainst(deflatedBaseline, &doc, 0.10); err == nil {
+		t.Error("compare against a deflated baseline must fail")
 	}
 }
 

@@ -8,9 +8,12 @@
 //	experiments -quick               # reduced sweeps (what the benchmarks use)
 //	experiments -parallel 8          # worker-pool width (default GOMAXPROCS)
 //	experiments -trace trace.jsonl   # stream the instrumentation to a file
+//	experiments -series -trace t.jsonl  # round-resolved trace (for simtrace -timeline)
 //
 // The -trace file is a deterministic JSONL event stream (one span per
 // experiment ID, phases nested beneath); render it with cmd/simtrace.
+// -series additionally records one record per engine round boundary, which
+// `simtrace -timeline` turns into a per-round heatmap.
 //
 // Output determinism: stdout carries only the tables, which are
 // byte-identical for a given sweep at every -parallel width, so
@@ -43,8 +46,12 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	parallel := fs.Int("parallel", 0, "sweep-point worker-pool width (0 = GOMAXPROCS); output is identical at any width")
 	traceOut := fs.String("trace", "", "write a JSONL instrumentation trace to this file")
+	series := fs.Bool("series", false, "with -trace: emit round-resolved series records (simtrace -timeline input)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *series && *traceOut == "" {
+		return fmt.Errorf("-series requires -trace")
 	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -59,7 +66,11 @@ func run(args []string) error {
 			return err
 		}
 		traceFile = f
-		jsonl = simtrace.NewJSONL(f)
+		if *series {
+			jsonl = simtrace.NewJSONLSeries(f)
+		} else {
+			jsonl = simtrace.NewJSONL(f)
+		}
 		cfg.Trace = jsonl
 	}
 	ids := experiments.IDs()

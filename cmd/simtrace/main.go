@@ -2,49 +2,43 @@
 // distlap.NewJSONLTrace or `experiments -trace`) as per-phase round and
 // message tables, and verifies the trace's accounting identity: the
 // exclusive per-phase rounds (plus charges outside any span) must sum
-// exactly to the per-engine round totals. A mismatch is a bug in the
-// instrumentation and exits nonzero.
+// exactly to the per-engine round totals — and, for series traces, so must
+// the per-round deltas. A mismatch is a bug in the instrumentation and
+// exits nonzero.
 //
 // Usage:
 //
 //	simtrace trace.jsonl
 //	simtrace -top 8 trace.jsonl
+//	simtrace -folded -weight messages trace.jsonl > stacks.folded
+//	simtrace -timeline -width 72 trace.jsonl
+//
+// -folded emits flamegraph folded stacks (feed to inferno/flamegraph.pl);
+// -timeline needs a series-enabled trace (experiments -series -trace ...).
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
-)
 
-// record is the union of every JSONL record shape (see simtrace.JSONL).
-type record struct {
-	Ev       string `json:"ev"`
-	Path     string `json:"path"`
-	Engine   string `json:"engine"`
-	Name     string `json:"name"`
-	Count    int    `json:"count"`
-	Rounds   int    `json:"rounds"`
-	Messages int64  `json:"messages"`
-	Value    int64  `json:"value"`
-	Edge     int    `json:"edge"`
-	Words    int64  `json:"words"`
-	Bucket   int    `json:"bucket"`
-	Edges    int64  `json:"edges"`
-}
+	"distlap/internal/simprof"
+)
 
 func main() {
 	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
-	topK := fs.Int("top", 10, "congested edges to show per engine")
+	topK := fs.Int("top", 10, "congested edges/nodes to show per engine")
+	folded := fs.Bool("folded", false, "emit flamegraph folded stacks instead of tables")
+	weight := fs.String("weight", simprof.WeightRounds, "folded-stack weight: rounds or messages")
+	timeline := fs.Bool("timeline", false, "render an ASCII per-round heatmap (requires a -series trace)")
+	width := fs.Int("width", 64, "timeline bucket count")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: simtrace [-top k] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: simtrace [-top k] [-folded [-weight rounds|messages]] [-timeline [-width n]] trace.jsonl")
 		os.Exit(2)
 	}
 	f, err := os.Open(fs.Arg(0))
@@ -53,124 +47,151 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	if err := render(f, os.Stdout, *topK); err != nil {
+	switch {
+	case *folded:
+		err = renderFolded(f, os.Stdout, *weight)
+	case *timeline:
+		err = renderTimeline(f, os.Stdout, *width)
+	default:
+		err = render(f, os.Stdout, *topK)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simtrace:", err)
 		os.Exit(1)
 	}
 }
 
-// render parses the trace and writes the report; it returns an error when
-// the trace is malformed or the phase/engine round sums disagree.
-func render(r io.Reader, w io.Writer, topK int) error {
-	var phases, engines, counters, edges, hists []record
-	untracked := record{Ev: "untracked"}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var rec record
-		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
-		}
-		switch rec.Ev {
-		case "phase":
-			phases = append(phases, rec)
-		case "engine":
-			engines = append(engines, rec)
-		case "counter":
-			counters = append(counters, rec)
-		case "edge":
-			edges = append(edges, rec)
-		case "loadhist":
-			hists = append(hists, rec)
-		case "untracked":
-			untracked = rec
-		case "begin", "end":
-			// Per-span stream; the Flush aggregates carry the totals.
-		default:
-			return fmt.Errorf("line %d: unknown record %q", line, rec.Ev)
-		}
+// parseChecked parses the trace and enforces the accounting identities.
+func parseChecked(r io.Reader) (*simprof.Profile, error) {
+	p, err := simprof.Parse(r)
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
+	if err := p.CheckIdentity(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// renderFolded writes flamegraph folded stacks.
+func renderFolded(r io.Reader, w io.Writer, weight string) error {
+	p, err := parseChecked(r)
+	if err != nil {
 		return err
 	}
-	if len(engines) == 0 && len(phases) == 0 {
-		return fmt.Errorf("no summary records — was Flush called on the collector?")
+	return simprof.Folded(w, p, weight)
+}
+
+// renderTimeline writes the ASCII per-round heatmap.
+func renderTimeline(r io.Reader, w io.Writer, width int) error {
+	p, err := parseChecked(r)
+	if err != nil {
+		return err
+	}
+	return simprof.Timeline(w, p, width)
+}
+
+// render parses the trace and writes the table report; it returns an error
+// when the trace is malformed or the phase/engine round sums disagree.
+func render(r io.Reader, w io.Writer, topK int) error {
+	p, err := simprof.Parse(r)
+	if err != nil {
+		return err
 	}
 
-	engineRounds, engineMsgs := 0, int64(0)
-	for _, e := range engines {
-		engineRounds += e.Rounds
-		engineMsgs += e.Messages
-	}
-	phaseRounds, phaseMsgs := untracked.Rounds, untracked.Messages
-	for _, p := range phases {
-		phaseRounds += p.Rounds
-		phaseMsgs += p.Messages
-	}
+	engineRounds, engineMsgs := p.EngineRounds(), p.EngineMessages()
+	phaseRounds, phaseMsgs := p.PhaseRounds(), p.PhaseMessages()
+	untracked := p.Untracked
 
-	fmt.Fprintf(w, "engines (%d):\n", len(engines))
+	fmt.Fprintf(w, "engines (%d):\n", len(p.Engines))
 	tw := newTabular(w, "engine", "rounds", "messages")
-	for _, e := range engines {
+	for _, e := range p.Engines {
 		tw.row(e.Engine, itoa(e.Rounds), i64toa(e.Messages))
 	}
 	tw.flush()
 
-	fmt.Fprintf(w, "\nphases (%d, exclusive rounds):\n", len(phases))
+	fmt.Fprintf(w, "\nphases (%d, exclusive rounds):\n", len(p.Phases))
 	tw = newTabular(w, "phase", "count", "rounds", "rounds%", "messages")
-	for _, p := range phases {
-		tw.row(p.Path, itoa(p.Count), itoa(p.Rounds), pct(p.Rounds, engineRounds), i64toa(p.Messages))
+	for _, ph := range p.Phases {
+		tw.row(ph.Path, itoa(ph.Count), itoa(ph.Rounds), pct(ph.Rounds, engineRounds), i64toa(ph.Messages))
 	}
 	if untracked.Rounds != 0 || untracked.Messages != 0 {
 		tw.row("(untracked)", "", itoa(untracked.Rounds), pct(untracked.Rounds, engineRounds), i64toa(untracked.Messages))
 	}
 	tw.flush()
 
-	if len(counters) > 0 {
-		fmt.Fprintf(w, "\ncounters (%d):\n", len(counters))
+	if len(p.Counters) > 0 {
+		fmt.Fprintf(w, "\ncounters (%d):\n", len(p.Counters))
 		tw = newTabular(w, "counter", "value")
-		for _, c := range counters {
-			tw.row(c.Name, i64toa(c.Value))
+		for _, c := range p.Counters {
+			tw.row(c.Name, i64toa(int64(c.Value)))
 		}
 		tw.flush()
 	}
 
-	if len(hists) > 0 {
+	if len(p.Gauges) > 0 {
+		fmt.Fprintf(w, "\ngauges (%d series; render the samples from the raw stream):\n", len(p.Gauges))
+		tw = newTabular(w, "gauge", "samples", "last-step", "last-value", "rounds@last")
+		for _, g := range p.Gauges {
+			last := g.Samples[len(g.Samples)-1]
+			tw.row(g.Name, itoa(len(g.Samples)), itoa(last.Step),
+				fmt.Sprintf("%g", last.Value), itoa(last.Rounds))
+		}
+		tw.flush()
+	}
+
+	if len(p.EdgeHist) > 0 {
 		fmt.Fprintf(w, "\nedge-load histogram (per engine, bucket = ceil(log2 words)):\n")
 		tw = newTabular(w, "engine", "bucket", "<= words", "edges")
-		for _, h := range hists {
+		for _, h := range p.EdgeHist {
 			tw.row(h.Engine, itoa(h.Bucket), i64toa(int64(1)<<h.Bucket), i64toa(h.Edges))
 		}
 		tw.flush()
 	}
 
-	if len(edges) > 0 {
-		perEngine := make(map[string]int)
-		var shown []record
-		for _, e := range edges {
-			if perEngine[e.Engine] < topK {
-				shown = append(shown, e)
-				perEngine[e.Engine]++
-			}
-		}
+	if len(p.Edges) > 0 {
 		fmt.Fprintf(w, "\ntop congested directed edges (showing <=%d per engine):\n", topK)
 		tw = newTabular(w, "engine", "dir-edge", "words")
-		for _, e := range shown {
-			tw.row(e.Engine, itoa(e.Edge), i64toa(e.Words))
+		perEngine := make(map[string]int)
+		for _, e := range p.Edges {
+			if perEngine[e.Engine] < topK {
+				tw.row(e.Engine, itoa(e.Edge), i64toa(e.Words))
+				perEngine[e.Engine]++
+			}
 		}
 		tw.flush()
 	}
 
+	if len(p.NodeHist) > 0 {
+		fmt.Fprintf(w, "\nnode-load histogram (per engine, bucket = ceil(log2 words)):\n")
+		tw = newTabular(w, "engine", "bucket", "<= words", "nodes")
+		for _, h := range p.NodeHist {
+			tw.row(h.Engine, itoa(h.Bucket), i64toa(int64(1)<<h.Bucket), i64toa(h.Nodes))
+		}
+		tw.flush()
+	}
+
+	if len(p.Nodes) > 0 {
+		fmt.Fprintf(w, "\ntop congested nodes (showing <=%d per engine):\n", topK)
+		tw = newTabular(w, "engine", "node", "words")
+		perEngine := make(map[string]int)
+		for _, e := range p.Nodes {
+			if perEngine[e.Engine] < topK {
+				tw.row(e.Engine, itoa(e.Node), i64toa(e.Words))
+				perEngine[e.Engine]++
+			}
+		}
+		tw.flush()
+	}
+
+	if len(p.Series) > 0 {
+		fmt.Fprintf(w, "\nround series: %d records (render with -timeline)\n", len(p.Series))
+	}
+
 	fmt.Fprintf(w, "\ntotals: phases+untracked = %d rounds / %d messages; engines = %d rounds / %d messages\n",
 		phaseRounds, phaseMsgs, engineRounds, engineMsgs)
-	if phaseRounds != engineRounds || phaseMsgs != engineMsgs {
-		return fmt.Errorf("accounting mismatch: phase sum %d rounds / %d messages vs engine sum %d rounds / %d messages",
-			phaseRounds, phaseMsgs, engineRounds, engineMsgs)
+	if err := p.CheckIdentity(); err != nil {
+		return err
 	}
 	fmt.Fprintln(w, "accounting identity holds: per-phase exclusive charges sum to the engine totals")
 	return nil

@@ -95,6 +95,59 @@ func TestRenderEmptyTrace(t *testing.T) {
 	}
 }
 
+// TestRenderFoldedAndTimeline drives a traced solve through the renderer
+// modes: folded stacks must carry slash-to-semicolon phase frames, and the
+// timeline must render from a series-enabled trace.
+func TestRenderFoldedAndTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	tr := simtrace.NewJSONLSeries(&buf)
+	g := graph.Grid(5, 5)
+	b := linalg.RandomBVector(g.N(), 3)
+	if _, _, err := core.SolveOnGraphWith(g, b, core.SolveConfig{
+		Mode: core.ModeUniversal, Tol: 1e-6, Seed: 1, Trace: tr,
+	}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	raw := buf.Bytes()
+
+	var folded bytes.Buffer
+	if err := renderFolded(bytes.NewReader(raw), &folded, "rounds"); err != nil {
+		t.Fatalf("folded: %v", err)
+	}
+	if !strings.Contains(folded.String(), "solve;matvec ") {
+		t.Errorf("folded output missing solve;matvec frame:\n%s", folded.String())
+	}
+
+	var timeline bytes.Buffer
+	if err := renderTimeline(bytes.NewReader(raw), &timeline, 40); err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	for _, want := range []string{"timeline:", "max edge load"} {
+		if !strings.Contains(timeline.String(), want) {
+			t.Errorf("timeline output missing %q:\n%s", want, timeline.String())
+		}
+	}
+
+	// A non-series trace must render tables (with node aggregates) but
+	// refuse -timeline.
+	nonSeries := traceOf(t, core.ModeUniversal)
+	var tables bytes.Buffer
+	if err := render(bytes.NewReader(nonSeries.Bytes()), &tables, 5); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	for _, want := range []string{"top congested nodes", "node-load histogram", "gauges"} {
+		if !strings.Contains(tables.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	if err := renderTimeline(bytes.NewReader(nonSeries.Bytes()), &timeline, 40); err == nil {
+		t.Error("timeline accepted a trace without series records")
+	}
+}
+
 // TestRenderMSTTrace exercises a traced network directly (no solver): the
 // identity must hold for arbitrary span structures too.
 func TestRenderMSTTrace(t *testing.T) {

@@ -139,6 +139,9 @@ func (a *ApproxMaxFlow) probe(g *graph.Graph, s, t graph.NodeID, f int64) ([]flo
 		for id := range avg {
 			avg[id] += flows[id]
 		}
+		// Telemetry: per-MWU-iteration congestion of the electrical iterate
+		// against the solver rounds spent so far across this probe.
+		simtrace.OrNop(a.Trace).Gauge("mwu.congestion", it, rho, rounds)
 		if rho <= 1+eps {
 			// This iterate already routes F within the congestion budget.
 			return flows, rounds, solves, true, nil

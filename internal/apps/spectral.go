@@ -63,6 +63,7 @@ func (sp *SpectralPartitioner) Partition(g *graph.Graph) (*SpectralResult, error
 		linalg.CenterMean(x)
 	}
 	res := &SpectralResult{}
+	l := linalg.NewLaplacian(g)
 	for it := 0; it < iters; it++ {
 		sol, _, err := core.SolveOnGraphWith(g, x, core.SolveConfig{
 			Mode: sp.Mode, Tol: tol, Seed: seedderive.Derive(sp.Seed, "inverse-iter", int64(it)), Trace: sp.Trace,
@@ -79,9 +80,11 @@ func (sp *SpectralPartitioner) Partition(g *graph.Graph) (*SpectralResult, error
 			return nil, errors.New("apps: inverse iteration collapsed")
 		}
 		linalg.Scale(1/nrm, x)
+		// Telemetry: per-iteration Rayleigh quotient (converging to λ₂)
+		// against the solver rounds spent so far.
+		simtrace.OrNop(sp.Trace).Gauge("spectral.rayleigh", it, l.Quadratic(x), res.Rounds)
 	}
 	res.Fiedler = x
-	l := linalg.NewLaplacian(g)
 	res.Lambda2 = l.Quadratic(x) // x is unit norm
 	for v := 0; v < n; v++ {
 		if x[v] >= 0 {

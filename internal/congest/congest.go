@@ -148,7 +148,10 @@ func (nw *Network) dirEdge(id graph.EdgeID, from graph.NodeID) int {
 	return 2*id + 1
 }
 
-// chargeEdge records one word crossing a directed edge.
+// chargeEdge records one word crossing a directed edge, attributing it to
+// the edge (Messages) and to both endpoint nodes (NodeWords). The endpoints
+// are recovered from the directed-edge encoding: de/2 is the edge id and the
+// parity selects the direction (even = U->V).
 func (nw *Network) chargeEdge(de int) {
 	nw.metrics.Messages++
 	nw.load[de]++
@@ -156,6 +159,12 @@ func (nw *Network) chargeEdge(de int) {
 		nw.metrics.MaxEdgeLoad = l
 	}
 	nw.trace.Messages(nw.engine, de, 1)
+	e := nw.g.Edge(graph.EdgeID(de / 2))
+	from, to := e.U, e.V
+	if de%2 == 1 {
+		from, to = to, from
+	}
+	nw.trace.NodeWords(nw.engine, from, to, 1)
 }
 
 // Exchange executes one synchronous round in which every node may send one

@@ -131,7 +131,9 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		if res := math.Sqrt(pair[0]) / bNorm; res <= opts.Tol {
+		res := math.Sqrt(pair[0]) / bNorm
+		tr.Gauge("chebyshev.residual", it, res, c.Rounds())
+		if res <= opts.Tol {
 			linalg.CenterMean(x)
 			return &Result{
 				X: x, Iterations: it, Residual: res,

@@ -158,6 +158,7 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 			return nil, err
 		}
 		res := math.Sqrt(pair[0]) / bNorm
+		tr.Gauge("pcg.residual", it, res, c.Rounds())
 		if res <= opts.Tol {
 			linalg.CenterMean(x)
 			return &Result{

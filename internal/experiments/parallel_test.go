@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"distlap/internal/simtrace"
@@ -10,9 +11,15 @@ import (
 // runTraced runs one experiment (quick sweeps) at the given pool width and
 // returns the rendered table bytes and the flushed JSONL trace bytes.
 func runTraced(t *testing.T, id string, parallel int) ([]byte, []byte) {
+	return runTracedSink(t, id, parallel, simtrace.NewJSONL)
+}
+
+// runTracedSink is runTraced with the JSONL constructor injected (series vs
+// plain sinks).
+func runTracedSink(t *testing.T, id string, parallel int, sink func(w io.Writer) *simtrace.JSONL) ([]byte, []byte) {
 	t.Helper()
 	var trace bytes.Buffer
-	jsonl := simtrace.NewJSONL(&trace)
+	jsonl := sink(&trace)
 	tbl, err := RunWith(id, Config{Quick: true, Trace: jsonl, Parallel: parallel})
 	if err != nil {
 		t.Fatalf("%s at -parallel %d: %v", id, parallel, err)
@@ -44,6 +51,43 @@ func TestParallelParity(t *testing.T) {
 			if !bytes.Equal(seqTrace, parTrace) {
 				t.Errorf("JSONL trace diverged between -parallel 1 and 4 (%d vs %d bytes)",
 					len(seqTrace), len(parTrace))
+			}
+		})
+	}
+}
+
+// TestParallelParitySeries extends the parity guard to the round-resolved
+// profile: series, node-load, and gauge records must be byte-identical
+// across two same-seed runs and across -parallel 1 vs 4 (the recorders
+// capture NodeWords/Gauge events, so replay reproduces the full stream).
+// E8 exercises ncc node attribution, E9a the solver gauges, and E10 the
+// layered engine.
+func TestParallelParitySeries(t *testing.T) {
+	for _, id := range []string{"E8", "E9a", "E10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seqTable, seqTrace := runTracedSink(t, id, 1, simtrace.NewJSONLSeries)
+			rerunTable, rerunTrace := runTracedSink(t, id, 1, simtrace.NewJSONLSeries)
+			parTable, parTrace := runTracedSink(t, id, 4, simtrace.NewJSONLSeries)
+			if !bytes.Equal(seqTrace, rerunTrace) {
+				t.Errorf("series trace diverged between two same-seed sequential runs (%d vs %d bytes)",
+					len(seqTrace), len(rerunTrace))
+			}
+			if !bytes.Equal(seqTable, parTable) || !bytes.Equal(seqTable, rerunTable) {
+				t.Errorf("tables diverged across runs")
+			}
+			if !bytes.Equal(seqTrace, parTrace) {
+				t.Errorf("series JSONL trace diverged between -parallel 1 and 4 (%d vs %d bytes)",
+					len(seqTrace), len(parTrace))
+			}
+			for _, want := range []string{`"ev":"series"`, `"ev":"node"`, `"ev":"nodehist"`} {
+				if !bytes.Contains(seqTrace, []byte(want)) {
+					t.Errorf("series trace missing %s records", want)
+				}
+			}
+			if id == "E9a" && !bytes.Contains(seqTrace, []byte(`"ev":"gauge"`)) {
+				t.Errorf("solver trace missing gauge records")
 			}
 		})
 	}

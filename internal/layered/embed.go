@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"distlap/internal/graph"
+	"distlap/internal/simtrace"
 )
 
 // Path is a simple path in the base graph: a node sequence together with
@@ -63,6 +64,22 @@ type Embedding struct {
 	// ColoringRounds is the distributed cost of the Lemma 17 edge coloring
 	// that the reduction paid on the base network.
 	ColoringRounds int
+}
+
+// Report emits the embedding's shape into tr as free-form counters, so
+// traces can attribute layered-graph blowup alongside the rounds it causes:
+// one "layered.embeddings" tick plus the layer count, the Lemma 17 coloring
+// rounds, and the total node copies materialized in Ĝ_L.
+func (emb *Embedding) Report(tr simtrace.Collector) {
+	tr = simtrace.OrNop(tr)
+	tr.Counter("layered.embeddings", 1)
+	tr.Counter("layered.layers", int64(emb.L))
+	tr.Counter("layered.coloring-rounds", int64(emb.ColoringRounds))
+	copies := 0
+	for _, part := range emb.Parts {
+		copies += len(part)
+	}
+	tr.Counter("layered.copies", int64(copies))
 }
 
 // EmbedPaths performs the Lemma 18 reduction: it edge-colors the multigraph

@@ -13,7 +13,8 @@
 //     metrics gate);
 //  3. Trace integrity — every simtrace span opened in a function is also
 //     closed there, so phase attribution cannot silently skew (analyzer
-//     tracephase).
+//     tracephase), and errors reported by engine primitives are never
+//     dropped on the floor (analyzer errcheck).
 //
 // Findings can be suppressed with a justification comment on the flagged
 // line or the line directly above it:
@@ -57,6 +58,7 @@ func Analyzers() []*Analyzer {
 		MetricsIntegrity(),
 		FloatEq(),
 		TracePhase(),
+		ErrCheck(),
 	}
 }
 

@@ -92,6 +92,18 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			// The allowed call at a.go:34 must be suppressed by its
+			// directive; the handled/underscored forms produce nothing.
+			name: "errcheck",
+			dir:  "errcheck",
+			path: "distlap/internal/lintfixture/errcheck",
+			want: []string{
+				"a.go:11:2 errcheck",
+				"a.go:12:2 errcheck",
+				"a.go:13:2 errcheck",
+			},
+		},
+		{
 			// Multi-file package: diagnostics must surface from every file.
 			name: "floateq multi-file",
 			dir:  "floateq",
@@ -166,6 +178,10 @@ func TestScopingByImportPath(t *testing.T) {
 	mo := loadFixture(t, loader, "maporder", "distlap/cmd/lintfixturemap")
 	if got := MapOrder().Run(mo); len(got) != 0 {
 		t.Errorf("maporder outside internal/: got %d diagnostics, want 0:\n%v", len(got), got)
+	}
+	ec := loadFixture(t, loader, "errcheck", "distlap/cmd/lintfixtureerr")
+	if got := ErrCheck().Run(ec); len(got) != 0 {
+		t.Errorf("errcheck outside internal/: got %d diagnostics, want 0:\n%v", len(got), got)
 	}
 }
 

@@ -17,8 +17,8 @@ import (
 // Package is one loaded, parsed and type-checked (non-test) package of the
 // module under analysis.
 type Package struct {
-	Path  string      // import path, e.g. "distlap/internal/shortcut"
-	Dir   string      // absolute directory
+	Path  string // import path, e.g. "distlap/internal/shortcut"
+	Dir   string // absolute directory
 	Fset  *token.FileSet
 	Files []*ast.File // non-test files only
 	Types *types.Package
@@ -41,7 +41,24 @@ type Loader struct {
 
 var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 
+// sharedFset and sharedStd cache type-checked standard-library packages
+// across Loader instances. The "source" importer type-checks each stdlib
+// package from $GOROOT/src on first Import (the dominant cost of a lint
+// run) and memoizes it internally, so every Loader after the first gets
+// the stdlib for free. The importer records positions into its FileSet, so
+// the set is shared along with it; module files parsed by different
+// Loaders land in the same set, which is harmless — positions stay valid
+// per file. Loaders were never goroutine-safe, and sharing changes
+// nothing there: all callers (cmd/distlint, the lint tests) run loads
+// sequentially.
+var (
+	sharedFset = token.NewFileSet()
+	sharedStd  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
 // NewLoader returns a loader for the module rooted at or above dir.
+// Loaders share one process-wide standard-library importer (see
+// sharedStd), so constructing a second loader is cheap.
 func NewLoader(dir string) (*Loader, error) {
 	root, err := findModuleRoot(dir)
 	if err != nil {
@@ -55,12 +72,11 @@ func NewLoader(dir string) (*Loader, error) {
 	if m == nil {
 		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
 	}
-	fset := token.NewFileSet()
 	return &Loader{
 		Root:       root,
 		ModulePath: string(m[1]),
-		fset:       fset,
-		std:        importer.ForCompiler(fset, "source", nil),
+		fset:       sharedFset,
+		std:        sharedStd,
 		pkgs:       make(map[string]*Package),
 		busy:       make(map[string]bool),
 	}, nil

@@ -1,0 +1,35 @@
+package errcheck
+
+import (
+	"io"
+
+	"distlap/internal/simtrace"
+)
+
+// drops loses engine errors three ways; every statement must be flagged.
+func drops(j *simtrace.JSONL) {
+	j.Flush()
+	defer j.Flush()
+	go j.Flush()
+}
+
+// handles shows the accepted forms: checked, or discarded with visible
+// intent.
+func handles(j *simtrace.JSONL) error {
+	_ = j.Flush()
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// outOfScope drops an error from a non-engine package; errcheck only
+// guards the simulator primitives.
+func outOfScope(w io.Writer) {
+	io.WriteString(w, "x")
+}
+
+// allowed carries a justification directive, so the runner suppresses it.
+func allowed(j *simtrace.JSONL) {
+	j.Flush() //distlint:allow errcheck sink is a bytes.Buffer, cannot fail
+}

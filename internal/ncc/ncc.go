@@ -101,8 +101,6 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 	used := 0
 	for remaining > 0 {
 		used++
-		nw.rounds++
-		nw.trace.Rounds(simtrace.EngineNCC, 1)
 		recvLoad := make(map[graph.NodeID]int)
 		var delivered []Message
 		for _, s := range senders {
@@ -122,10 +120,19 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 			queues[s] = append([]Message(nil), kept...)
 		}
 		if len(delivered) == 0 {
+			nw.rounds++
+			nw.trace.Rounds(simtrace.EngineNCC, 1)
 			return used, errors.New("ncc: scheduler made no progress")
 		}
 		nw.messages += int64(len(delivered))
 		nw.trace.Messages(simtrace.EngineNCC, simtrace.NoEdge, int64(len(delivered)))
+		for _, m := range delivered {
+			nw.trace.NodeWords(simtrace.EngineNCC, m.From, m.To, 1)
+		}
+		// The round is charged after its deliveries so a round-series sink
+		// attributes this batch's messages to this round boundary.
+		nw.rounds++
+		nw.trace.Rounds(simtrace.EngineNCC, 1)
 		if remaining > 0 {
 			// Messages deferred past this round were blocked by a send or
 			// receive cap: the scheduler's congestion signal.
@@ -170,8 +177,6 @@ func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropp
 				graph.ErrNodeRange, m.From, m.To, nw.n)
 		}
 	}
-	nw.rounds++
-	nw.trace.Rounds(simtrace.EngineNCC, 1)
 	nw.trace.Counter("ncc.sends", int64(len(msgs)))
 	// Senders may emit at most cap messages; excess sends are dropped at
 	// the source (in FIFO order).
@@ -201,10 +206,14 @@ func (nw *Network) DeliverUnscheduled(msgs []Message, recv func(Message)) (dropp
 			}
 			nw.messages++
 			deliveredCount++
+			nw.trace.NodeWords(simtrace.EngineNCC, m.From, m.To, 1)
 			recv(m)
 		}
 	}
 	nw.trace.Messages(simtrace.EngineNCC, simtrace.NoEdge, deliveredCount)
+	// As in Deliver, the single round is charged after its deliveries.
+	nw.rounds++
+	nw.trace.Rounds(simtrace.EngineNCC, 1)
 	if dropped > 0 {
 		nw.trace.Counter("ncc.drops", int64(dropped))
 	}

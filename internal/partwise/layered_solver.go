@@ -94,6 +94,9 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 			tr.End("levels-up")
 			return nil, fmt.Errorf("partwise: level %d up: %w", lvl, err)
 		}
+		// Telemetry: one sample per level — how many paths this level's
+		// batch carried and the base-network rounds consumed so far.
+		tr.Gauge("pwa.level-up.paths", lvl, float64(len(batch)), nw.Rounds())
 		if lvl == 0 {
 			for b, dp := range batch {
 				partAgg[dp.part] = aggs[b]
@@ -160,6 +163,7 @@ func (s LayeredSolver) Solve(nw *congest.Network, inst *Instance, spec AggSpec) 
 			}, spec, seedderive.Derive(s.Seed, "level-down", int64(lvl+1))); err != nil {
 			return nil, fmt.Errorf("partwise: level %d down: %w", lvl+1, err)
 		}
+		tr.Gauge("pwa.level-down.paths", lvl+1, float64(len(batch)), nw.Rounds())
 	}
 	return partAgg, nil
 }
@@ -194,6 +198,7 @@ func (s LayeredSolver) solvePathBatch(
 	if err != nil {
 		return nil, err
 	}
+	emb.Report(nw.Trace())
 	// Canonical lookup: layered copy -> (batch index, value).
 	vals := make(map[graph.NodeID]congest.Word)
 	for j, b := range multiIdx {

@@ -1,0 +1,58 @@
+package simprof
+
+import (
+	"fmt"
+	"io"
+)
+
+// Folded weight selectors.
+const (
+	WeightRounds   = "rounds"
+	WeightMessages = "messages"
+)
+
+// Folded writes the profile's exclusive phase charges in flamegraph
+// folded-stack format: one line per phase path with "/" separators turned
+// into ";" frame separators, followed by the integer weight (exclusive
+// rounds or messages — exclusivity is exactly what the folded format wants,
+// since flamegraph tooling re-derives inclusive totals by summing
+// prefixes). Charges outside any span appear as the "(untracked)" frame.
+// Zero-weight stacks are omitted. Lines inherit the trace's sorted-by-path
+// emission order, so the output is deterministic.
+func Folded(w io.Writer, p *Profile, weight string) error {
+	pick := func(r Record) int64 {
+		if weight == WeightMessages {
+			return r.Messages
+		}
+		return int64(r.Rounds)
+	}
+	switch weight {
+	case WeightRounds, WeightMessages:
+	default:
+		return fmt.Errorf("simprof: unknown folded weight %q (want %q or %q)",
+			weight, WeightRounds, WeightMessages)
+	}
+	for _, ph := range p.Phases {
+		v := pick(ph)
+		if v == 0 {
+			continue
+		}
+		stack := make([]byte, 0, len(ph.Path))
+		for i := 0; i < len(ph.Path); i++ {
+			if ph.Path[i] == '/' {
+				stack = append(stack, ';')
+			} else {
+				stack = append(stack, ph.Path[i])
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, v); err != nil {
+			return err
+		}
+	}
+	if v := pick(p.Untracked); v != 0 {
+		if _, err := fmt.Fprintf(w, "(untracked) %d\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package simprof is the read side of the simulator's observability stack:
+// it parses the JSONL traces the simtrace sinks emit into a queryable
+// Profile, verifies the accounting identities the write side promises, and
+// renders round-resolved views (flamegraph folded stacks, ASCII timelines)
+// plus BENCH_<label>.json regression comparisons. simtrace stays the
+// write-only hot path; everything analysis-shaped lives here, shared by
+// cmd/simtrace and cmd/bench.
+package simprof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is the union of every simtrace JSONL record shape (see
+// simtrace.JSONL for the per-ev field sets). Value is a float64 because
+// gauge samples are floats; counter values are integral and convert back
+// exactly (they are far below 2^53).
+type Record struct {
+	Ev       string  `json:"ev"`
+	Path     string  `json:"path"`
+	Engine   string  `json:"engine"`
+	Name     string  `json:"name"`
+	Count    int     `json:"count"`
+	Rounds   int     `json:"rounds"`
+	Messages int64   `json:"messages"`
+	Value    float64 `json:"value"`
+	Edge     int     `json:"edge"`
+	Words    int64   `json:"words"`
+	Bucket   int     `json:"bucket"`
+	Edges    int64   `json:"edges"`
+	Node     int     `json:"node"`
+	Nodes    int64   `json:"nodes"`
+	Round    int     `json:"round"`
+	Step     int     `json:"step"`
+	MaxLoad  int64   `json:"maxload"`
+}
+
+// GaugeSeries is one named telemetry series in sample (emission) order.
+type GaugeSeries struct {
+	Name    string
+	Samples []Record
+}
+
+// Profile is a parsed trace: the Flush aggregates plus the streamed series
+// and gauge records, each slice in file order (which the write side emits
+// under a total order, so Profiles of byte-identical traces are identical).
+type Profile struct {
+	Phases    []Record // ev=phase (sorted by path at emission)
+	Untracked Record   // ev=untracked (zero value when absent)
+	Engines   []Record // ev=engine
+	Counters  []Record // ev=counter
+	EdgeHist  []Record // ev=loadhist
+	Edges     []Record // ev=edge (top loaded, per engine)
+	NodeHist  []Record // ev=nodehist
+	Nodes     []Record // ev=node (top loaded, per engine)
+	Series    []Record // ev=series (round-resolved stream; series sinks only)
+	Gauges    []GaugeSeries
+}
+
+// Parse reads a JSONL trace. It fails on malformed lines and unknown record
+// kinds; use CheckIdentity afterwards to validate the accounting.
+func Parse(r io.Reader) (*Profile, error) {
+	p := &Profile{Untracked: Record{Ev: "untracked"}}
+	gaugeIdx := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		switch rec.Ev {
+		case "phase":
+			p.Phases = append(p.Phases, rec)
+		case "engine":
+			p.Engines = append(p.Engines, rec)
+		case "counter":
+			p.Counters = append(p.Counters, rec)
+		case "edge":
+			p.Edges = append(p.Edges, rec)
+		case "loadhist":
+			p.EdgeHist = append(p.EdgeHist, rec)
+		case "node":
+			p.Nodes = append(p.Nodes, rec)
+		case "nodehist":
+			p.NodeHist = append(p.NodeHist, rec)
+		case "series":
+			p.Series = append(p.Series, rec)
+		case "gauge":
+			i, ok := gaugeIdx[rec.Name]
+			if !ok {
+				i = len(p.Gauges)
+				gaugeIdx[rec.Name] = i
+				p.Gauges = append(p.Gauges, GaugeSeries{Name: rec.Name})
+			}
+			p.Gauges[i].Samples = append(p.Gauges[i].Samples, rec)
+		case "untracked":
+			p.Untracked = rec
+		case "begin", "end":
+			// Per-span stream; the Flush aggregates carry the totals.
+		default:
+			return nil, fmt.Errorf("line %d: unknown record %q", line, rec.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Engines) == 0 && len(p.Phases) == 0 {
+		return nil, fmt.Errorf("no summary records — was Flush called on the collector?")
+	}
+	return p, nil
+}
+
+// EngineRounds returns the summed per-engine round totals.
+func (p *Profile) EngineRounds() int {
+	total := 0
+	for _, e := range p.Engines {
+		total += e.Rounds
+	}
+	return total
+}
+
+// EngineMessages returns the summed per-engine message totals.
+func (p *Profile) EngineMessages() int64 {
+	var total int64
+	for _, e := range p.Engines {
+		total += e.Messages
+	}
+	return total
+}
+
+// PhaseRounds returns the summed exclusive phase rounds plus the untracked
+// bucket — the left-hand side of the accounting identity.
+func (p *Profile) PhaseRounds() int {
+	total := p.Untracked.Rounds
+	for _, ph := range p.Phases {
+		total += ph.Rounds
+	}
+	return total
+}
+
+// PhaseMessages is PhaseRounds for messages.
+func (p *Profile) PhaseMessages() int64 {
+	total := p.Untracked.Messages
+	for _, ph := range p.Phases {
+		total += ph.Messages
+	}
+	return total
+}
+
+// CheckIdentity verifies the trace's accounting identities: exclusive
+// per-phase charges (plus the untracked bucket) must sum exactly to the
+// per-engine totals, and — when the trace carries a round series — the
+// series deltas must too (each round and message is counted by exactly one
+// series record). A violation is an instrumentation bug.
+func (p *Profile) CheckIdentity() error {
+	if pr, er := p.PhaseRounds(), p.EngineRounds(); pr != er {
+		return fmt.Errorf("accounting mismatch: phase sum %d rounds vs engine sum %d rounds", pr, er)
+	}
+	if pm, em := p.PhaseMessages(), p.EngineMessages(); pm != em {
+		return fmt.Errorf("accounting mismatch: phase sum %d messages vs engine sum %d messages", pm, em)
+	}
+	if len(p.Series) > 0 {
+		sr, sm := 0, int64(0)
+		for _, s := range p.Series {
+			sr += s.Rounds
+			sm += s.Messages
+		}
+		if sr != p.EngineRounds() {
+			return fmt.Errorf("accounting mismatch: series sum %d rounds vs engine sum %d rounds", sr, p.EngineRounds())
+		}
+		if sm != p.EngineMessages() {
+			return fmt.Errorf("accounting mismatch: series sum %d messages vs engine sum %d messages", sm, p.EngineMessages())
+		}
+	}
+	return nil
+}

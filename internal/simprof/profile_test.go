@@ -1,0 +1,173 @@
+package simprof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distlap/internal/simtrace"
+)
+
+// traceBytes records a small synthetic execution through a series-enabled
+// JSONL sink: two phases on the congest engine, one ncc batch, a gauge
+// series, and node attribution.
+func traceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := simtrace.NewJSONLSeries(&buf)
+	j.Begin("solve")
+	j.Begin("matvec")
+	for r := 0; r < 4; r++ {
+		j.Messages(simtrace.EngineCongest, 2*r, 3)
+		j.NodeWords(simtrace.EngineCongest, r, r+1, 3)
+		j.Rounds(simtrace.EngineCongest, 1)
+	}
+	j.End("matvec")
+	j.Gauge("pcg.residual", 1, 0.25, 4)
+	j.Begin("reduce")
+	j.Messages(simtrace.EngineNCC, simtrace.NoEdge, 5)
+	j.NodeWords(simtrace.EngineNCC, 0, 2, 5)
+	j.Rounds(simtrace.EngineNCC, 2)
+	j.End("reduce")
+	j.Gauge("pcg.residual", 2, 0.0625, 6)
+	j.End("solve")
+	// Messages after the last round boundary: exercised by the Flush tail
+	// series record.
+	j.Messages(simtrace.EngineCongest, 0, 1)
+	j.NodeWords(simtrace.EngineCongest, 0, 1, 1)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseAndIdentity(t *testing.T) {
+	raw := traceBytes(t)
+	p, err := Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.EngineRounds(), 6; got != want {
+		t.Fatalf("EngineRounds = %d, want %d", got, want)
+	}
+	if got, want := p.EngineMessages(), int64(18); got != want {
+		t.Fatalf("EngineMessages = %d, want %d", got, want)
+	}
+	// 4 congest boundaries + 1 ncc boundary + the Flush tail record.
+	if got, want := len(p.Series), 6; got != want {
+		t.Fatalf("len(Series) = %d, want %d", got, want)
+	}
+	tail := p.Series[len(p.Series)-1]
+	if tail.Rounds != 0 || tail.Messages != 1 {
+		t.Fatalf("tail series record = %+v, want rounds=0 messages=1", tail)
+	}
+	if len(p.Gauges) != 1 || p.Gauges[0].Name != "pcg.residual" || len(p.Gauges[0].Samples) != 2 {
+		t.Fatalf("Gauges = %+v, want one pcg.residual series with 2 samples", p.Gauges)
+	}
+	if p.Gauges[0].Samples[1].Value != 0.0625 || p.Gauges[0].Samples[1].Round != 0 {
+		t.Fatalf("gauge sample = %+v", p.Gauges[0].Samples[1])
+	}
+	if len(p.Nodes) == 0 || len(p.NodeHist) == 0 {
+		t.Fatalf("expected node aggregates, got nodes=%d nodehist=%d", len(p.Nodes), len(p.NodeHist))
+	}
+	// Every congest delivery charges both endpoints, so the engine's node
+	// words sum to exactly twice its 13 messages.
+	var nodeWords int64
+	for _, n := range p.Nodes {
+		if n.Engine == simtrace.EngineCongest {
+			nodeWords += n.Words
+		}
+	}
+	if nodeWords != 2*13 {
+		t.Fatalf("congest node words = %d, want %d", nodeWords, 2*13)
+	}
+}
+
+func TestParseRejectsBrokenIdentity(t *testing.T) {
+	raw := string(traceBytes(t))
+	// Inflate one engine total so the phase identity breaks.
+	broken := strings.Replace(raw,
+		`{"ev":"engine","engine":"congest","rounds":4`,
+		`{"ev":"engine","engine":"congest","rounds":5`, 1)
+	if broken == raw {
+		t.Fatal("fixture did not contain the expected engine record")
+	}
+	p, err := Parse(strings.NewReader(broken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckIdentity(); err == nil {
+		t.Fatal("CheckIdentity accepted a broken trace")
+	}
+}
+
+func TestFolded(t *testing.T) {
+	p, err := Parse(bytes.NewReader(traceBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Folded(&out, p, WeightRounds); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"solve;matvec 4\n", "solve;reduce 2\n"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("folded output missing %q:\n%s", want, got)
+		}
+	}
+	out.Reset()
+	if err := Folded(&out, p, WeightMessages); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(untracked) 1\n") {
+		t.Fatalf("folded -weight messages missing untracked frame:\n%s", out.String())
+	}
+	if err := Folded(&out, p, "walltime"); err == nil {
+		t.Fatal("Folded accepted an unknown weight")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	p, err := Parse(bytes.NewReader(traceBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Timeline(&out, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"timeline: 6 rounds over 4 buckets", "solve/matvec", "messages", "max edge load"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTimelineRequiresSeries(t *testing.T) {
+	var buf bytes.Buffer
+	j := simtrace.NewJSONL(&buf) // no series
+	j.Rounds(simtrace.EngineCongest, 3)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Timeline(&out, p, 8); err == nil {
+		t.Fatal("Timeline accepted a trace without series records")
+	}
+}
+
+func TestParseByteStableInputsGiveEqualProfiles(t *testing.T) {
+	a, b := traceBytes(t), traceBytes(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("series JSONL output is not byte-stable across identical runs")
+	}
+}

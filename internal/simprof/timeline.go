@@ -1,0 +1,125 @@
+package simprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// timelineLevels are the intensity characters of the heatmap, lightest
+// first; index 0 (a space) marks an empty bucket.
+const timelineLevels = " .:*#@"
+
+// Timeline renders the profile's round series as an ASCII heatmap: the
+// execution's rounds are squashed into at most width buckets, one row per
+// phase path shows where in the execution that phase's rounds were charged
+// (intensity is row-relative), and summary rows show per-bucket message
+// volume and the running max directed-edge load. Requires a trace recorded
+// by a series-enabled sink.
+func Timeline(w io.Writer, p *Profile, width int) error {
+	if len(p.Series) == 0 {
+		return fmt.Errorf("simprof: trace has no series records — record it with a series-enabled sink (e.g. experiments -series -trace)")
+	}
+	if width < 1 {
+		width = 1
+	}
+	maxRound := 0
+	for _, s := range p.Series {
+		if s.Round > maxRound {
+			maxRound = s.Round
+		}
+	}
+	cols := width
+	if cols > maxRound {
+		cols = maxRound
+	}
+	// bucket maps a 1-based cumulative round to its column.
+	bucket := func(round int) int {
+		if round < 1 {
+			round = 1
+		}
+		return (round - 1) * cols / maxRound
+	}
+
+	type row struct {
+		label string
+		cells []int64
+		total int64
+	}
+	rowIdx := make(map[string]int)
+	var rows []row
+	msgs := make([]int64, cols)
+	load := make([]int64, cols)
+	var totalMsgs int64
+	var finalLoad int64
+	for _, s := range p.Series {
+		b := bucket(s.Round)
+		label := s.Path
+		if label == "" {
+			label = "(untracked)"
+		}
+		i, ok := rowIdx[label]
+		if !ok {
+			i = len(rows)
+			rowIdx[label] = i
+			rows = append(rows, row{label: label, cells: make([]int64, cols)})
+		}
+		rows[i].cells[b] += int64(s.Rounds)
+		rows[i].total += int64(s.Rounds)
+		msgs[b] += s.Messages
+		totalMsgs += s.Messages
+		if s.MaxLoad > load[b] {
+			load[b] = s.MaxLoad
+		}
+		if s.MaxLoad > finalLoad {
+			finalLoad = s.MaxLoad
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].total != rows[b].total {
+			return rows[a].total > rows[b].total
+		}
+		return rows[a].label < rows[b].label
+	})
+
+	labelW := len("max edge load")
+	for _, r := range rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	fmt.Fprintf(w, "timeline: %d rounds over %d buckets (~%d rounds/bucket); intensity is row-relative\n",
+		maxRound, cols, (maxRound+cols-1)/cols)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-*s |%s| %d rounds\n", labelW, r.label, heatline(r.cells), r.total)
+	}
+	fmt.Fprintf(w, "  %-*s |%s| %d total\n", labelW, "messages", heatline(msgs), totalMsgs)
+	fmt.Fprintf(w, "  %-*s |%s| %d peak\n", labelW, "max edge load", heatline(load), finalLoad)
+	return nil
+}
+
+// heatline maps per-bucket values to intensity characters against the
+// row's own maximum; zero buckets render as spaces.
+func heatline(cells []int64) string {
+	var max int64
+	for _, v := range cells {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		if v <= 0 || max == 0 {
+			b.WriteByte(timelineLevels[0])
+			continue
+		}
+		// Scale 1..max onto 1..len-1 (nonzero values always visible).
+		idx := 1 + int(v*int64(len(timelineLevels)-2)/max)
+		if idx > len(timelineLevels)-1 {
+			idx = len(timelineLevels) - 1
+		}
+		b.WriteByte(timelineLevels[idx])
+	}
+	return b.String()
+}

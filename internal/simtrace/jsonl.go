@@ -1,8 +1,10 @@
 package simtrace
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // JSONL streams trace events as JSON Lines and, on Flush, appends aggregate
@@ -11,25 +13,51 @@ import (
 //
 // Byte-stability contract (what determinism tests pin): records carry no
 // timestamps or addresses, keys are emitted in a fixed order (hand-rolled
-// marshaling, never map-ordered), and every aggregate is emitted under a
-// total order (path, name, or load-then-id). Two runs with the same seed
-// therefore produce byte-identical files.
+// marshaling, never map-ordered), floats use the shortest unique
+// representation (strconv 'g', precision -1), and every aggregate is emitted
+// under a total order (path, name, or load-then-id). Two runs with the same
+// seed therefore produce byte-identical files.
 //
-// Record shapes:
+// Error handling: the first write error poisons the sink — every later emit
+// is skipped, Flush writes no aggregate records at all (the aggregate block
+// is buffered and written atomically, so a healthy stream never ends in a
+// partial summary), and Flush returns the original error. A Write that
+// returns n < len(p) with a nil error is converted to io.ErrShortWrite.
+//
+// Stream record shapes:
 //
 //	{"ev":"begin","path":P}
 //	{"ev":"end","path":P,"rounds":R,"messages":M}       // exclusive charges of this instance
-//	{"ev":"untracked","rounds":R,"messages":M}          // Flush: charges with no open span
-//	{"ev":"engine","engine":E,"rounds":R,"messages":M}  // Flush: per-engine totals
-//	{"ev":"phase","path":P,"count":C,"rounds":R,"messages":M}   // Flush: per-path totals
-//	{"ev":"counter","name":N,"value":V}                 // Flush
-//	{"ev":"loadhist","engine":E,"bucket":B,"edges":C}   // Flush: 2^B load buckets
-//	{"ev":"edge","engine":E,"edge":D,"words":W}         // Flush: top loaded edges
+//	{"ev":"series","round":R,"path":P,"engine":E,"rounds":N,"messages":M,"maxload":L}
+//	                                   // series sinks only: one per engine round boundary
+//	{"ev":"gauge","name":N,"step":S,"value":V,"rounds":R}   // telemetry sample
+//
+// Flush record shapes:
+//
+//	{"ev":"untracked","rounds":R,"messages":M}          // charges with no open span
+//	{"ev":"engine","engine":E,"rounds":R,"messages":M}  // per-engine totals
+//	{"ev":"phase","path":P,"count":C,"rounds":R,"messages":M}   // per-path totals
+//	{"ev":"counter","name":N,"value":V}
+//	{"ev":"loadhist","engine":E,"bucket":B,"edges":C}   // 2^B edge-load buckets
+//	{"ev":"edge","engine":E,"edge":D,"words":W}         // top loaded edges
+//	{"ev":"nodehist","engine":E,"bucket":B,"nodes":C}   // 2^B node-load buckets
+//	{"ev":"node","engine":E,"node":V,"words":W}         // top loaded nodes
 type JSONL struct {
 	*InMemory
 	w    io.Writer
 	err  error
 	topK int
+
+	// Round-series state. series enables one "series" record per engine
+	// round boundary; the deltas are exclusive — each message is counted by
+	// exactly one series record (the first boundary at or after its charge,
+	// or the Flush tail record), so summing the series reproduces the engine
+	// totals, mirroring the phase-attribution identity.
+	series    bool
+	round     int   // cumulative rounds across all engines
+	totalMsgs int64 // cumulative messages across all engines
+	lastMsgs  int64 // totalMsgs at the previous series record
+	maxLoad   int64 // running max directed-edge load across all engines
 }
 
 var _ Collector = (*JSONL)(nil)
@@ -38,16 +66,40 @@ var _ Collector = (*JSONL)(nil)
 // JSONL sink records at Flush.
 const JSONLTopEdges = 16
 
+// JSONLTopNodes is the number of most-loaded nodes per engine a JSONL sink
+// records at Flush.
+const JSONLTopNodes = 16
+
 // NewJSONL returns a sink streaming to w.
 func NewJSONL(w io.Writer) *JSONL {
 	return &JSONL{InMemory: NewInMemory(), w: w, topK: JSONLTopEdges}
+}
+
+// NewJSONLSeries returns a sink streaming to w that additionally emits one
+// "series" record per engine round boundary: the round-resolved profile
+// cmd/simtrace's -timeline renderer consumes. Series records roughly double
+// a trace's size for round-heavy runs, hence the separate constructor.
+func NewJSONLSeries(w io.Writer) *JSONL {
+	j := NewJSONL(w)
+	j.series = true
+	return j
+}
+
+// writeAll writes b to w in one call, converting a silent short write into
+// io.ErrShortWrite so the sink is poisoned rather than truncated.
+func writeAll(w io.Writer, b []byte) error {
+	n, err := w.Write(b)
+	if err == nil && n < len(b) {
+		err = io.ErrShortWrite
+	}
+	return err
 }
 
 func (j *JSONL) emit(format string, args ...any) {
 	if j.err != nil {
 		return
 	}
-	_, j.err = fmt.Fprintf(j.w, format, args...)
+	j.err = writeAll(j.w, fmt.Appendf(nil, format, args...))
 }
 
 // Begin implements Collector.
@@ -66,36 +118,100 @@ func (j *JSONL) End(name string) {
 	j.InMemory.End(name)
 }
 
+// Rounds implements Collector: for series sinks, every engine round boundary
+// emits one series record charging the messages accumulated since the
+// previous boundary to the currently-innermost phase path.
+func (j *JSONL) Rounds(engine string, n int) {
+	j.InMemory.Rounds(engine, n)
+	if !j.series || n <= 0 {
+		return
+	}
+	j.round += n
+	j.emitSeries(engine, n)
+}
+
+// Messages implements Collector: tracks the cumulative message count and the
+// running max edge load the series records report.
+func (j *JSONL) Messages(engine string, dirEdge int, n int64) {
+	j.InMemory.Messages(engine, dirEdge, n)
+	if n <= 0 {
+		return
+	}
+	j.totalMsgs += n
+	if dirEdge >= 0 {
+		if l := j.edges[engine][dirEdge]; l > j.maxLoad {
+			j.maxLoad = l
+		}
+	}
+}
+
+// Gauge implements Collector: streams one telemetry sample.
+func (j *JSONL) Gauge(name string, step int, value float64, rounds int) {
+	j.InMemory.Gauge(name, step, value, rounds)
+	j.emit("{\"ev\":\"gauge\",\"name\":%q,\"step\":%d,\"value\":%s,\"rounds\":%d}\n",
+		name, step, strconv.FormatFloat(value, 'g', -1, 64), rounds)
+}
+
+// emitSeries writes one series record: rounds is this boundary's own round
+// charge, messages the delta since the previous series record.
+func (j *JSONL) emitSeries(engine string, rounds int) {
+	j.emit("{\"ev\":\"series\",\"round\":%d,\"path\":%q,\"engine\":%q,\"rounds\":%d,\"messages\":%d,\"maxload\":%d}\n",
+		j.round, j.path(), engine, rounds, j.totalMsgs-j.lastMsgs, j.maxLoad)
+	j.lastMsgs = j.totalMsgs
+}
+
 // Flush implements Collector: appends the aggregate summary records and
-// reports any accumulated write error.
+// reports any accumulated write error. The aggregate block is built in
+// memory and written with a single Write, so a trace either carries the full
+// summary or (if the stream was poisoned earlier) none of it.
 func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	var buf bytes.Buffer
+	if j.series && j.totalMsgs > j.lastMsgs {
+		// Tail record: messages charged after the last round boundary, so
+		// the series deltas still sum to the engine message totals.
+		fmt.Fprintf(&buf, "{\"ev\":\"series\",\"round\":%d,\"path\":%q,\"engine\":%q,\"rounds\":0,\"messages\":%d,\"maxload\":%d}\n",
+			j.round, j.path(), "", j.totalMsgs-j.lastMsgs, j.maxLoad)
+		j.lastMsgs = j.totalMsgs
+	}
 	if un := j.stats[""]; un != nil {
-		j.emit("{\"ev\":\"untracked\",\"rounds\":%d,\"messages\":%d}\n", un.Rounds, un.Messages)
+		fmt.Fprintf(&buf, "{\"ev\":\"untracked\",\"rounds\":%d,\"messages\":%d}\n", un.Rounds, un.Messages)
 	}
 	engines := j.Engines()
 	for _, e := range engines {
-		j.emit("{\"ev\":\"engine\",\"engine\":%q,\"rounds\":%d,\"messages\":%d}\n",
+		fmt.Fprintf(&buf, "{\"ev\":\"engine\",\"engine\":%q,\"rounds\":%d,\"messages\":%d}\n",
 			e.Engine, e.Rounds, e.Messages)
 	}
 	for _, st := range j.Phases() {
 		if st.Path == "" {
 			continue
 		}
-		j.emit("{\"ev\":\"phase\",\"path\":%q,\"count\":%d,\"rounds\":%d,\"messages\":%d}\n",
+		fmt.Fprintf(&buf, "{\"ev\":\"phase\",\"path\":%q,\"count\":%d,\"rounds\":%d,\"messages\":%d}\n",
 			st.Path, st.Count, st.Rounds, st.Messages)
 	}
 	for _, c := range j.Counters() {
-		j.emit("{\"ev\":\"counter\",\"name\":%q,\"value\":%d}\n", c.Name, c.Value)
+		fmt.Fprintf(&buf, "{\"ev\":\"counter\",\"name\":%q,\"value\":%d}\n", c.Name, c.Value)
 	}
 	for _, e := range engines {
 		for _, h := range j.LoadHistogram(e.Engine) {
-			j.emit("{\"ev\":\"loadhist\",\"engine\":%q,\"bucket\":%d,\"edges\":%d}\n",
+			fmt.Fprintf(&buf, "{\"ev\":\"loadhist\",\"engine\":%q,\"bucket\":%d,\"edges\":%d}\n",
 				h.Engine, h.Edge, h.Words)
 		}
 		for _, t := range j.TopEdges(e.Engine, j.topK) {
-			j.emit("{\"ev\":\"edge\",\"engine\":%q,\"edge\":%d,\"words\":%d}\n",
+			fmt.Fprintf(&buf, "{\"ev\":\"edge\",\"engine\":%q,\"edge\":%d,\"words\":%d}\n",
 				t.Engine, t.Edge, t.Words)
 		}
+		for _, h := range j.NodeLoadHistogram(e.Engine) {
+			fmt.Fprintf(&buf, "{\"ev\":\"nodehist\",\"engine\":%q,\"bucket\":%d,\"nodes\":%d}\n",
+				h.Engine, h.Node, h.Words)
+		}
+		for _, t := range j.TopNodes(e.Engine, JSONLTopNodes) {
+			fmt.Fprintf(&buf, "{\"ev\":\"node\",\"engine\":%q,\"node\":%d,\"words\":%d}\n",
+				t.Engine, t.Node, t.Words)
+		}
 	}
+	j.err = writeAll(j.w, buf.Bytes())
 	return j.err
 }

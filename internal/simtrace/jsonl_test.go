@@ -1,0 +1,159 @@
+package simtrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// failWriter accepts the first okWrites writes, then fails every later one.
+type failWriter struct {
+	okWrites int
+	writes   int
+	buf      bytes.Buffer
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.okWrites {
+		return 0, errDiskFull
+	}
+	return f.buf.Write(p)
+}
+
+// shortWriter reports success but persists one byte fewer than asked.
+type shortWriter struct {
+	buf bytes.Buffer
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := s.buf.Write(p[:len(p)-1])
+	return n, err
+}
+
+// emitSome drives a small event stream into j.
+func emitSome(j *JSONL) {
+	j.Begin("solve")
+	j.Messages(EngineCongest, 0, 2)
+	j.NodeWords(EngineCongest, 0, 1, 2)
+	j.Rounds(EngineCongest, 1)
+	j.Gauge("pcg.residual", 1, 0.5, 1)
+	j.End("solve")
+}
+
+// TestJSONLMidStreamErrorPoisonsSink pins the failure contract: once a
+// write fails, no further bytes are written — in particular Flush must not
+// append any aggregate records to a poisoned stream — and Flush surfaces
+// the original error.
+func TestJSONLMidStreamErrorPoisonsSink(t *testing.T) {
+	fw := &failWriter{okWrites: 2}
+	j := NewJSONL(fw)
+	emitSome(j)
+	err := j.Flush()
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("Flush error = %v, want errDiskFull", err)
+	}
+	got := fw.buf.String()
+	if strings.Count(got, "\n") != 2 {
+		t.Fatalf("expected exactly the 2 accepted stream lines, got:\n%s", got)
+	}
+	for _, aggregate := range []string{`"ev":"engine"`, `"ev":"phase"`, `"ev":"counter"`,
+		`"ev":"loadhist"`, `"ev":"edge"`, `"ev":"nodehist"`, `"ev":"node"`, `"ev":"untracked"`} {
+		if strings.Contains(got, aggregate) {
+			t.Errorf("poisoned sink wrote aggregate record %s:\n%s", aggregate, got)
+		}
+	}
+	// The sink must stay poisoned: later events and Flushes are no-ops
+	// returning the original error.
+	emitSome(j)
+	if err := j.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("second Flush = %v, want errDiskFull", err)
+	}
+	if fw.buf.String() != got {
+		t.Error("poisoned sink wrote more bytes after the failure")
+	}
+}
+
+// TestJSONLErrorDuringFlushSuppressesAggregates fails the writer only once
+// the stream portion is fully written: the aggregate block is buffered and
+// written atomically, so the output must contain no partial summary.
+func TestJSONLErrorDuringFlushSuppressesAggregates(t *testing.T) {
+	j := NewJSONL(io.Discard)
+	emitSome(j)
+	// Count the stream writes so the failure lands exactly on Flush's
+	// single aggregate write.
+	streamWrites := 3 // begin + end + gauge
+	fw := &failWriter{okWrites: streamWrites}
+	j2 := NewJSONL(fw)
+	emitSome(j2)
+	if j2.err != nil {
+		t.Fatalf("stream writes failed early: %v", j2.err)
+	}
+	if err := j2.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Flush = %v, want errDiskFull", err)
+	}
+	if got := fw.buf.String(); strings.Contains(got, `"ev":"engine"`) {
+		t.Errorf("aggregate block partially written:\n%s", got)
+	}
+}
+
+// TestJSONLShortWriteSurfaces pins that a Write reporting n < len(p) with a
+// nil error poisons the sink with io.ErrShortWrite instead of silently
+// truncating the trace.
+func TestJSONLShortWriteSurfaces(t *testing.T) {
+	sw := &shortWriter{}
+	j := NewJSONL(sw)
+	j.Begin("solve")
+	if !errors.Is(j.err, io.ErrShortWrite) {
+		t.Fatalf("sink error = %v, want io.ErrShortWrite", j.err)
+	}
+	if err := j.Flush(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Flush = %v, want io.ErrShortWrite", err)
+	}
+	if strings.Contains(sw.buf.String(), `"ev":"phase"`) {
+		t.Error("aggregates written after a short write")
+	}
+}
+
+// TestJSONLSeriesTailIdentity pins the series exclusive-attribution rule:
+// the per-boundary deltas plus the Flush tail record sum exactly to the
+// engine totals.
+func TestJSONLSeriesTailIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLSeries(&buf)
+	j.Begin("phase-a")
+	j.Messages(EngineCongest, 0, 3)
+	j.Rounds(EngineCongest, 1)
+	j.Messages(EngineCongest, 1, 4)
+	j.Rounds(EngineCongest, 2)
+	j.End("phase-a")
+	j.Messages(EngineCongest, 2, 5) // after the last boundary: tail record
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	wantLines := []string{
+		`{"ev":"series","round":1,"path":"phase-a","engine":"congest","rounds":1,"messages":3,"maxload":3}`,
+		`{"ev":"series","round":3,"path":"phase-a","engine":"congest","rounds":2,"messages":4,"maxload":4}`,
+		`{"ev":"series","round":3,"path":"","engine":"","rounds":0,"messages":5,"maxload":5}`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("missing series record %s in:\n%s", w, got)
+		}
+	}
+	// A second Flush emits no duplicate tail.
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), wantLines[2]) != 1 {
+		t.Error("tail series record duplicated on re-Flush")
+	}
+}

@@ -21,10 +21,29 @@ type EdgeLoad struct {
 	Words  int64
 }
 
+// NodeLoad is the total word count attributed to one node of one engine
+// over the traced execution (each delivery charges both endpoints).
+// NodeLoadHistogram reuses the type with Node holding the power-of-two
+// bucket index instead of a node id.
+type NodeLoad struct {
+	Engine string
+	Node   int
+	Words  int64
+}
+
 // CounterStat is one named counter's accumulated value.
 type CounterStat struct {
 	Name  string
 	Value int64
+}
+
+// GaugeSample is one observation of a named telemetry series: the emitter's
+// step (iteration) index, the observed value, and the communication rounds
+// elapsed when the sample was taken.
+type GaugeSample struct {
+	Step   int
+	Value  float64
+	Rounds int
 }
 
 // EngineTotal is one engine's accumulated rounds and messages.
@@ -52,6 +71,8 @@ type InMemory struct {
 	counters map[string]int64
 	engines  map[string]*EngineTotal
 	edges    map[string]map[int]int64 // engine -> dirEdge -> words
+	nodes    map[string]map[int]int64 // engine -> node -> words
+	gauges   map[string][]GaugeSample // series name -> samples in emission order
 }
 
 var _ Collector = (*InMemory)(nil)
@@ -64,6 +85,8 @@ func NewInMemory() *InMemory {
 		counters: make(map[string]int64),
 		engines:  make(map[string]*EngineTotal),
 		edges:    make(map[string]map[int]int64),
+		nodes:    make(map[string]map[int]int64),
+		gauges:   make(map[string][]GaugeSample),
 	}
 }
 
@@ -135,8 +158,31 @@ func (m *InMemory) Messages(engine string, dirEdge int, n int64) {
 	}
 }
 
+// NodeWords implements Collector: charges n words to each in-range endpoint.
+func (m *InMemory) NodeWords(engine string, from, to int, n int64) {
+	if n <= 0 {
+		return
+	}
+	byNode := m.nodes[engine]
+	if byNode == nil {
+		byNode = make(map[int]int64)
+		m.nodes[engine] = byNode
+	}
+	if from >= 0 {
+		byNode[from] += n
+	}
+	if to >= 0 {
+		byNode[to] += n
+	}
+}
+
 // Counter implements Collector.
 func (m *InMemory) Counter(name string, n int64) { m.counters[name] += n }
+
+// Gauge implements Collector: appends one sample to the named series.
+func (m *InMemory) Gauge(name string, step int, value float64, rounds int) {
+	m.gauges[name] = append(m.gauges[name], GaugeSample{Step: step, Value: value, Rounds: rounds})
+}
 
 // Flush implements Collector (no-op for the in-memory sink).
 func (m *InMemory) Flush() error { return nil }
@@ -266,6 +312,67 @@ func (m *InMemory) LoadHistogram(engine string) []EdgeLoad {
 	}
 	return out
 }
+
+// TopNodes returns the k most loaded nodes of one engine, sorted by
+// descending word count with node id as the deterministic tiebreak.
+func (m *InMemory) TopNodes(engine string, k int) []NodeLoad {
+	byNode := m.nodes[engine]
+	ids := make([]int, 0, len(byNode))
+	for v := range byNode {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+	out := make([]NodeLoad, 0, len(ids))
+	for _, v := range ids {
+		out = append(out, NodeLoad{Engine: engine, Node: v, Words: byNode[v]})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Words > out[b].Words })
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// NodeLoadHistogram buckets one engine's node loads into power-of-two
+// buckets, mirroring LoadHistogram: bucket b counts nodes with load in
+// (2^(b-1), 2^b]. Returned as (bucket, count) pairs sorted by bucket, with
+// the bucket index carried in Node.
+func (m *InMemory) NodeLoadHistogram(engine string) []NodeLoad {
+	byNode := m.nodes[engine]
+	buckets := make(map[int]int64)
+	ids := make([]int, 0, len(byNode))
+	for v := range byNode {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+	for _, v := range ids {
+		buckets[loadBucket(byNode[v])]++
+	}
+	bs := make([]int, 0, len(buckets))
+	for b := range buckets {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	out := make([]NodeLoad, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, NodeLoad{Engine: engine, Node: b, Words: buckets[b]})
+	}
+	return out
+}
+
+// Gauges returns the names of all recorded telemetry series, sorted.
+func (m *InMemory) Gauges() []string {
+	names := make([]string, 0, len(m.gauges))
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeSeries returns one series' samples in emission order (nil if the
+// series was never sampled).
+func (m *InMemory) GaugeSeries(name string) []GaugeSample { return m.gauges[name] }
 
 // loadBucket returns ceil(log2(words)): the power-of-two histogram bucket.
 func loadBucket(words int64) int {

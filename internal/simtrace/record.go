@@ -19,9 +19,11 @@ type Recorder struct {
 // event is one recorded Collector call. kind selects which fields are live.
 type event struct {
 	kind eventKind
-	name string // Begin/End phase name, Counter name, or engine
-	edge int    // Messages dirEdge
-	n    int64  // Rounds/Messages/Counter quantity
+	name string  // Begin/End phase name, Counter/Gauge name, or engine
+	edge int     // Messages dirEdge, NodeWords from, Gauge step
+	to   int     // NodeWords to, Gauge rounds
+	n    int64   // Rounds/Messages/Counter/NodeWords quantity
+	val  float64 // Gauge value
 }
 
 type eventKind uint8
@@ -31,7 +33,9 @@ const (
 	evEnd
 	evRounds
 	evMessages
+	evNodeWords
 	evCounter
+	evGauge
 )
 
 var _ Collector = (*Recorder)(nil)
@@ -59,9 +63,19 @@ func (r *Recorder) Messages(engine string, dirEdge int, n int64) {
 	r.events = append(r.events, event{kind: evMessages, name: engine, edge: dirEdge, n: n})
 }
 
+// NodeWords implements Collector.
+func (r *Recorder) NodeWords(engine string, from, to int, n int64) {
+	r.events = append(r.events, event{kind: evNodeWords, name: engine, edge: from, to: to, n: n})
+}
+
 // Counter implements Collector.
 func (r *Recorder) Counter(name string, n int64) {
 	r.events = append(r.events, event{kind: evCounter, name: name, n: n})
+}
+
+// Gauge implements Collector.
+func (r *Recorder) Gauge(name string, step int, value float64, rounds int) {
+	r.events = append(r.events, event{kind: evGauge, name: name, edge: step, to: rounds, val: value})
 }
 
 // Flush implements Collector. Flushing a recording is a no-op: the
@@ -88,8 +102,12 @@ func (r *Recorder) Replay(into Collector) {
 			into.Rounds(e.name, int(e.n))
 		case evMessages:
 			into.Messages(e.name, e.edge, e.n)
+		case evNodeWords:
+			into.NodeWords(e.name, e.edge, e.to, e.n)
 		case evCounter:
 			into.Counter(e.name, e.n)
+		case evGauge:
+			into.Gauge(e.name, e.edge, e.val, e.to)
 		}
 	}
 }

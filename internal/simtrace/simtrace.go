@@ -35,6 +35,11 @@ const (
 // any other.
 const NoEdge = -1
 
+// NoNode is passed to NodeWords for an endpoint the engine cannot attribute
+// (e.g. a broadcast source outside the node range); that side of the
+// delivery is simply not charged.
+const NoNode = -1
+
 // Collector receives instrumentation events from the engines and phase
 // annotations from the algorithm layers. Implementations must be
 // deterministic (no wall clock, no unsorted map iteration) and must not
@@ -55,8 +60,20 @@ type Collector interface {
 	// Messages records n word-messages crossing directed edge dirEdge on
 	// the named engine (NoEdge when the engine has no edge identity).
 	Messages(engine string, dirEdge int, n int64)
+	// NodeWords attributes n word-messages to their endpoint nodes on the
+	// named engine: the sender from and the receiver to each accumulate n
+	// words (NoNode skips that side). Engines call it alongside Messages;
+	// it mirrors the directed-edge accounting at node granularity and never
+	// contributes to the engine's message totals.
+	NodeWords(engine string, from, to int, n int64)
 	// Counter adds n to the named free-form counter (e.g. "ncc.drops").
 	Counter(name string, n int64)
+	// Gauge records one sample of the named telemetry series — e.g. a
+	// solver's residual norm: step is the emitter's iteration index, value
+	// the observation, and rounds the communication rounds elapsed on the
+	// emitting network when the sample was taken (so series can be plotted
+	// against the paper's cost metric, not wall time).
+	Gauge(name string, step int, value float64, rounds int)
 	// Flush finalizes the sink (writes summaries for streaming sinks).
 	Flush() error
 }
@@ -79,8 +96,14 @@ func (Nop) Rounds(string, int) {}
 // Messages implements Collector.
 func (Nop) Messages(string, int, int64) {}
 
+// NodeWords implements Collector.
+func (Nop) NodeWords(string, int, int, int64) {}
+
 // Counter implements Collector.
 func (Nop) Counter(string, int64) {}
+
+// Gauge implements Collector.
+func (Nop) Gauge(string, int, float64, int) {}
 
 // Flush implements Collector.
 func (Nop) Flush() error { return nil }
