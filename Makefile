@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test bench bench-smoke bench-compare microbench trace-smoke folded-artifact
+.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact
 
 check: build vet lint test trace-smoke
 
@@ -13,13 +13,31 @@ build:
 vet:
 	$(GO) vet ./...
 
-# distlint enforces the determinism and metrics-integrity invariants the
-# simulator's measured round counts rest on (see internal/lint).
+# distlint enforces the determinism, model-soundness, concurrency and
+# metrics-integrity invariants the simulator's measured round counts rest on
+# (see internal/lint; `go run ./cmd/distlint -list` names all eleven
+# analyzers).
 lint:
 	$(GO) run ./cmd/distlint ./...
 
+# Machine-readable lint report: the same run serialized as a versioned,
+# byte-stable JSON schema (suppressed findings included, with their
+# //distlint:allow justifications). CI archives distlint.json as an
+# artifact so suppression inventory can be diffed across commits.
+lint-json:
+	$(GO) run ./cmd/distlint -json ./... > distlint.json
+	@echo lint-json: wrote distlint.json
+
 test:
 	$(GO) test -race ./...
+
+# Focused race-detector pass over the only packages sanctioned to spawn
+# goroutines (the experiments worker pool and the simtrace writer); -count=2
+# shakes out ordering flakes a single run can miss. The goroutine analyzer
+# guarantees concurrency cannot creep in anywhere else, which is what keeps
+# this narrow target a sound whole-repo concurrency gate.
+race:
+	$(GO) test -race -count=2 ./internal/experiments/... ./internal/simtrace/...
 
 # Suite benchmark: full sweeps through cmd/bench, emitting the
 # machine-readable trajectory file BENCH_local.json (schema in README

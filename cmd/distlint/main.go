@@ -1,16 +1,34 @@
 // Command distlint runs the repo-specific static-analysis suite
-// (internal/lint) over the module: determinism and metrics-integrity
-// invariants that ordinary go vet cannot express.
+// (internal/lint) over the module: determinism, model-soundness,
+// concurrency and metrics-integrity invariants that ordinary go vet cannot
+// express.
 //
 // Usage:
 //
 //	go run ./cmd/distlint ./...
 //	go run ./cmd/distlint -checks maporder,floateq ./internal/...
+//	go run ./cmd/distlint -disable errcheck ./...
+//	go run ./cmd/distlint -json ./... > distlint.json
 //	go run ./cmd/distlint -list
 //
-// Exit status is 0 when clean, 1 when any diagnostic is reported, 2 on
-// usage or load errors. Findings are suppressed line-by-line with
-// //distlint:allow <check> <justification> (see internal/lint).
+// All analyzers share one parse + type-check pass per package. -checks
+// enables only the named analyzers, -disable removes names from whatever is
+// enabled, -min-severity hides findings below a level, and
+// -maporder-sortfuncs whitelists helper functions the maporder analyzer
+// trusts to canonicalize order (see internal/lint.MapOrderSortFuncs).
+//
+// -json writes a machine-readable report to stdout instead of text lines:
+// a versioned schema listing the analyzers that ran and every finding —
+// suppressed ones included, with their suppression state and the
+// //distlint:allow justification — with module-relative slash paths and a
+// severity summary. The bytes are stable: identical inputs produce an
+// identical report, so CI can archive and diff it.
+//
+// Exit status is 0 when no unsuppressed error-severity finding remains,
+// 1 when one does (warnings alone never fail a run), 2 on usage or load
+// errors. Findings are suppressed line-by-line with
+// //distlint:allow <check> <justification> (see internal/lint; the
+// justification is mandatory — allowjustify flags bare directives).
 package main
 
 import (
@@ -28,11 +46,27 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// splitList splits a comma-separated flag value into trimmed non-empty names.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("distlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	checks := fs.String("checks", "", "comma-separated subset of analyzers to run (default all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	jsonOut := fs.Bool("json", false, "write a machine-readable report to stdout")
+	minSev := fs.String("min-severity", "warning", "report findings at or above this severity (warning|error)")
+	sortFuncs := fs.String("maporder-sortfuncs", "",
+		"comma-separated helper function names maporder trusts to canonicalize iteration order")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,25 +74,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+			sev := a.Severity
+			if sev == 0 {
+				sev = lint.SevError
+			}
+			fmt.Fprintf(stdout, "%-18s %-8s %s\n", a.Name, sev, a.Doc)
 		}
 		return 0
 	}
-	if *checks != "" {
-		byName := make(map[string]*lint.Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = analyzers[:0]
-		for _, name := range strings.Split(*checks, ",") {
-			name = strings.TrimSpace(name)
-			a, ok := byName[name]
-			if !ok {
-				fmt.Fprintf(stderr, "distlint: unknown analyzer %q (try -list)\n", name)
-				return 2
-			}
-			analyzers = append(analyzers, a)
-		}
+	analyzers, err := lint.Select(analyzers, splitList(*checks), splitList(*disable))
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v (try -list)\n", err)
+		return 2
+	}
+	threshold, err := lint.ParseSeverity(*minSev)
+	if err != nil {
+		fmt.Fprintf(stderr, "distlint: %v\n", err)
+		return 2
+	}
+	for _, name := range splitList(*sortFuncs) {
+		lint.MapOrderSortFuncs[name] = true
 	}
 
 	patterns := fs.Args()
@@ -86,8 +121,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	// One pass over every package; findings below the severity threshold are
+	// dropped entirely, suppressed ones are kept for the JSON report (text
+	// mode hides them). The exit code reflects only unsuppressed errors.
+	var diags []lint.Diagnostic
+	failing := 0
+	for _, d := range lint.RunAll(pkgs, analyzers) {
+		if d.Severity < threshold {
+			continue
+		}
+		diags = append(diags, d)
+		if !d.Suppressed && d.Severity >= lint.SevError {
+			failing++
+		}
+	}
+
+	if *jsonOut {
+		report := lint.BuildReport(loader.ModulePath, loader.Root, analyzers, len(pkgs), diags)
+		b, err := report.Marshal()
+		if err != nil {
+			fmt.Fprintf(stderr, "distlint: %v\n", err)
+			return 2
+		}
+		if _, err := stdout.Write(b); err != nil {
+			fmt.Fprintf(stderr, "distlint: %v\n", err)
+			return 2
+		}
+		if failing > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	shown := 0
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		shown++
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
@@ -95,8 +166,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n",
 			pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "distlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	if shown > 0 {
+		fmt.Fprintf(stderr, "distlint: %d finding(s) in %d package(s)\n", shown, len(pkgs))
+	}
+	if failing > 0 {
 		return 1
 	}
 	return 0

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"distlap/internal/lint"
 )
 
 func TestListAnalyzers(t *testing.T) {
@@ -11,7 +14,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"maporder", "seededrand", "metricsintegrity", "floateq"} {
+	for _, name := range []string{
+		"maporder", "seededrand", "seedderive", "metricsintegrity", "floateq",
+		"tracephase", "errcheck", "wordtrunc", "allowjustify", "goroutine", "walltime",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -22,6 +28,12 @@ func TestUnknownAnalyzer(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-checks", "nosuch", "./..."}, &out, &errb); code != 2 {
 		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if code := run([]string{"-disable", "nosuch", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("unknown -disable analyzer exited %d, want 2", code)
+	}
+	if code := run([]string{"-min-severity", "fatal", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("bad -min-severity exited %d, want 2", code)
 	}
 }
 
@@ -35,6 +47,117 @@ func TestFindingsExitCode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "a.go:10:2: [maporder]") {
 		t.Errorf("missing expected finding in output:\n%s", out.String())
+	}
+}
+
+func TestDisableSilencesFixture(t *testing.T) {
+	// Disabling the only analyzer the fixture violates must turn the run
+	// clean (the fixture package trips nothing else).
+	var out, errb bytes.Buffer
+	code := run([]string{"-disable", "maporder", "../../internal/lint/testdata/maporder"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("disabled run exited %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestMapOrderSortFuncsFlag(t *testing.T) {
+	defer delete(lint.MapOrderSortFuncs, "canonicalize")
+	var before, after, errb bytes.Buffer
+	if code := run([]string{"../../internal/lint/testdata/maporder"}, &before, &errb); code != 1 {
+		t.Fatalf("baseline run exited %d, want 1", code)
+	}
+	if !strings.Contains(before.String(), "a.go:100:2") {
+		t.Fatalf("baseline run missing the helper-sorted finding:\n%s", before.String())
+	}
+	code := run([]string{"-maporder-sortfuncs", "canonicalize",
+		"../../internal/lint/testdata/maporder"}, &after, &errb)
+	if code != 1 { // other violations in the fixture still fail the run
+		t.Fatalf("whitelisted run exited %d, want 1", code)
+	}
+	if strings.Contains(after.String(), "a.go:100:2") {
+		t.Errorf("-maporder-sortfuncs did not silence the whitelisted helper:\n%s", after.String())
+	}
+}
+
+func TestJSONReportByteStable(t *testing.T) {
+	// Two identical -json runs must produce identical bytes — CI archives
+	// the report, so nondeterministic output would break artifact diffing.
+	runJSON := func() (string, int) {
+		var out, errb bytes.Buffer
+		code := run([]string{"-json", "../../internal/lint/testdata/errcheck"}, &out, &errb)
+		return out.String(), code
+	}
+	first, code := runJSON()
+	if code != 1 {
+		t.Fatalf("-json fixture run exited %d, want 1", code)
+	}
+	second, _ := runJSON()
+	if first != second {
+		t.Fatalf("-json output differs across identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	var report struct {
+		Version   int `json:"version"`
+		Analyzers []struct {
+			Name     string `json:"name"`
+			Severity string `json:"severity"`
+		} `json:"analyzers"`
+		Findings []struct {
+			Analyzer      string `json:"analyzer"`
+			File          string `json:"file"`
+			Line          int    `json:"line"`
+			Suppressed    bool   `json:"suppressed"`
+			Justification string `json:"justification"`
+		} `json:"findings"`
+		Summary struct {
+			Findings   int `json:"findings"`
+			Suppressed int `json:"suppressed"`
+			Errors     int `json:"errors"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(first), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, first)
+	}
+	if report.Version != lint.ReportVersion {
+		t.Errorf("report version %d, want %d", report.Version, lint.ReportVersion)
+	}
+	if len(report.Analyzers) != 11 {
+		t.Errorf("report lists %d analyzers, want 11", len(report.Analyzers))
+	}
+	var suppressed, errcheckHits int
+	for _, f := range report.Findings {
+		if !strings.HasPrefix(f.File, "internal/lint/testdata/errcheck/") {
+			t.Errorf("finding file %q is not module-relative", f.File)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.Justification == "" {
+				t.Errorf("suppressed finding at %s:%d lacks its justification", f.File, f.Line)
+			}
+		}
+		if f.Analyzer == "errcheck" {
+			errcheckHits++
+		}
+	}
+	if suppressed == 0 || suppressed != report.Summary.Suppressed {
+		t.Errorf("suppressed findings: counted %d, summary says %d", suppressed, report.Summary.Suppressed)
+	}
+	if errcheckHits == 0 || report.Summary.Errors == 0 {
+		t.Errorf("expected errcheck findings and a nonzero error count, got %d / %d",
+			errcheckHits, report.Summary.Errors)
+	}
+}
+
+func TestMinSeverityErrorKeepsErrors(t *testing.T) {
+	// All suite analyzers are error-severity today, so -min-severity error
+	// must not change the verdict on a violating fixture.
+	var out, errb bytes.Buffer
+	code := run([]string{"-min-severity", "error", "../../internal/lint/testdata/maporder"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("-min-severity error exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[maporder]") {
+		t.Errorf("error-severity findings missing from output:\n%s", out.String())
 	}
 }
 

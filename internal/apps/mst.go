@@ -38,19 +38,28 @@ type MSTResult struct {
 // ErrDisconnected is returned when the input graph is not connected.
 var ErrDisconnected = errors.New("apps: graph disconnected")
 
-// encodeEdge packs (weight, edgeID) into one word so that min-aggregation
-// selects the lightest edge with deterministic ID tie-breaking. Weights are
-// poly(n) by assumption (§2), so 31 bits of ID space suffice for the graphs
-// the simulator handles.
+// edgeIDBits is the ID field width of an encoded edge. Weights are poly(n)
+// by assumption (§2), so 31 bits of ID space (and the remaining 32 weight
+// bits) suffice for the graphs the simulator handles; the packed payload is
+// 63 bits, i.e. congest.WordsFor(63) == 1 honestly-charged word.
+const edgeIDBits = 31
+
+// encodeEdge packs (weight, edgeID) into one checked word so that
+// min-aggregation selects the lightest edge with deterministic ID
+// tie-breaking. congest.PackWord panics if either field overflows its
+// width — silent truncation would corrupt the payload and under-charge the
+// model (wordtrunc analyzer rationale).
 func encodeEdge(w int64, id graph.EdgeID) congest.Word {
-	return congest.Word(w)<<31 | congest.Word(id)
+	return congest.PackWord(congest.Word(w), congest.Word(id), edgeIDBits)
 }
 
 func decodeEdge(x congest.Word) graph.EdgeID {
-	return graph.EdgeID(x & ((1 << 31) - 1))
+	_, id := congest.UnpackWord(x, edgeIDBits)
+	return graph.EdgeID(id)
 }
 
-// noEdge is the min-identity for encoded edges.
+// noEdge is the min-identity for encoded edges: above every legal packed
+// value of weights < 2^31 (poly(n) weights on simulator-scale graphs).
 const noEdge = congest.Word(1) << 62
 
 // MST computes a minimum spanning tree with Borůvka phases, each phase one

@@ -1,0 +1,72 @@
+package congest
+
+import "testing"
+
+func TestPackWordRoundTrip(t *testing.T) {
+	cases := []struct {
+		hi, lo Word
+		loBits uint
+	}{
+		{0, 0, 31},
+		{1, 2, 31},
+		{1<<32 - 1, 1<<31 - 1, 31}, // max fields at the MST encoding width
+		{7, 1<<20 - 1, 20},
+		{1<<62 - 1, 1, 1},
+	}
+	for _, c := range cases {
+		x := PackWord(c.hi, c.lo, c.loBits)
+		if x < 0 {
+			t.Errorf("PackWord(%d,%d,%d) = %d is negative; sign bit must stay clear", c.hi, c.lo, c.loBits, x)
+		}
+		hi, lo := UnpackWord(x, c.loBits)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("round trip (%d,%d,%d): got (%d,%d)", c.hi, c.lo, c.loBits, hi, lo)
+		}
+	}
+}
+
+func TestPackWordOrdersLikeTuples(t *testing.T) {
+	// Min-aggregation over packed edges relies on tuple ordering.
+	a := PackWord(3, 100, 31)
+	b := PackWord(4, 0, 31)
+	c := PackWord(4, 1, 31)
+	if !(a < b && b < c) {
+		t.Errorf("packed words must order like (hi, lo) tuples: %d, %d, %d", a, b, c)
+	}
+}
+
+func TestPackWordOverflowPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		hi, lo Word
+		loBits uint
+	}{
+		{"lo overflow", 0, 1 << 31, 31},
+		{"hi overflow", 1 << 32, 0, 31},
+		{"negative lo", 0, -1, 31},
+		{"negative hi", -1, 0, 31},
+		{"zero loBits", 1, 1, 0},
+		{"loBits too wide", 1, 1, WordBits - 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackWord(%d,%d,%d) must panic instead of truncating", c.hi, c.lo, c.loBits)
+				}
+			}()
+			PackWord(c.hi, c.lo, c.loBits)
+		})
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{-5, 0}, {0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.bits); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}

@@ -20,7 +20,8 @@ var floatEqScopes = []string{"/internal/linalg", "/internal/core", "/internal/ap
 // justification.
 func FloatEq() *Analyzer {
 	return &Analyzer{
-		Name: "floateq",
+		Name:     "floateq",
+		Severity: SevError,
 		Doc: "flags ==/!= between floating-point expressions in " +
 			"internal/linalg, internal/core and internal/apps",
 		Run: runFloatEq,

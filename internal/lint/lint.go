@@ -1,17 +1,24 @@
 // Package lint is a repo-specific static-analysis driver, written purely
 // with the standard library's go/ast, go/parser, go/token and go/types. It
-// enforces the two invariants every measured round count in this repository
+// enforces the invariants every measured round count in this repository
 // rests on (DESIGN.md "Determinism & verification"):
 //
 //  1. Determinism — identical seeds must produce identical executions, so
 //     no iteration over map order, no global or wall-clock-seeded
-//     randomness, and no ad-hoc arithmetic deriving child seeds outside
-//     internal/seedderive (analyzers maporder, seededrand, seedderive);
-//  2. Metrics integrity — round/message accounting flows only through the
+//     randomness, no wall-clock reads at all in simulator packages, and no
+//     ad-hoc arithmetic deriving child seeds outside internal/seedderive
+//     (analyzers maporder, seededrand, walltime, seedderive);
+//  2. Model soundness — message payloads are charged honestly in the
+//     CONGEST cost model: no silently truncating conversion into
+//     congest.Word and no unchecked multi-field packing (analyzer
+//     wordtrunc), and no unmanaged concurrency outside the sanctioned
+//     worker pool, which would let scheduler nondeterminism leak into
+//     measurements (analyzer goroutine);
+//  3. Metrics integrity — round/message accounting flows only through the
 //     congest/ncc charging primitives, never through direct field writes
 //     (analyzers metricsintegrity, floateq for the residual checks those
 //     metrics gate);
-//  3. Trace integrity — every simtrace span opened in a function is also
+//  4. Trace integrity — every simtrace span opened in a function is also
 //     closed there, so phase attribution cannot silently skew (analyzer
 //     tracephase), and errors reported by engine primitives are never
 //     dropped on the floor (analyzer errcheck).
@@ -20,6 +27,13 @@
 // line or the line directly above it:
 //
 //	//distlint:allow <check>[,<check>...] <why this is safe>
+//
+// The justification is mandatory: a directive with no trailing text is
+// itself a diagnostic (analyzer allowjustify), as is one naming an unknown
+// analyzer.
+//
+// All analyzers share one parse + type-check pass per package (see Loader):
+// a package is loaded once and every analyzer runs over the same *Package.
 package lint
 
 import (
@@ -30,11 +44,54 @@ import (
 	"strings"
 )
 
+// Severity classifies how a diagnostic gates a run: errors fail the build,
+// warnings are reported but do not (cmd/distlint exits nonzero only when an
+// unsuppressed error-severity finding survives its filters).
+type Severity uint8
+
+const (
+	// SevWarning marks advisory findings: reported, never build-failing.
+	SevWarning Severity = iota + 1
+	// SevError marks invariant violations: any unsuppressed one fails the run.
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// ParseSeverity parses "warning" or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "warning":
+		return SevWarning, nil
+	case "error":
+		return SevError, nil
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q (want warning or error)", s)
+}
+
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
-	Pos     token.Position
-	Check   string // analyzer name
-	Message string
+	Pos      token.Position
+	Check    string // analyzer name
+	Severity Severity
+	Message  string
+
+	// Suppressed marks findings covered by a //distlint:allow directive.
+	// RunAll returns them (the JSON report records suppression state);
+	// Run drops them.
+	Suppressed bool
+	// Justification is the directive's trailing free text for suppressed
+	// findings ("" when the directive carries none — which allowjustify
+	// flags as its own finding).
+	Justification string
 }
 
 func (d Diagnostic) String() string {
@@ -44,9 +101,10 @@ func (d Diagnostic) String() string {
 
 // Analyzer is one named check run over a loaded package.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name     string
+	Doc      string
+	Severity Severity // default severity for this analyzer's diagnostics
+	Run      func(p *Package) []Diagnostic
 }
 
 // Analyzers returns the full suite in a stable order.
@@ -59,11 +117,113 @@ func Analyzers() []*Analyzer {
 		FloatEq(),
 		TracePhase(),
 		ErrCheck(),
+		WordTrunc(),
+		AllowJustify(),
+		Goroutine(),
+		WallTime(),
 	}
+}
+
+// Select filters the suite by the enable/disable lists: enable, when
+// non-empty, keeps only the named analyzers (in the order given); disable
+// then removes names. Unknown names in either list are an error.
+func Select(all []*Analyzer, enable, disable []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := all
+	if len(enable) > 0 {
+		out = nil
+		for _, name := range enable {
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			out = append(out, a)
+		}
+	}
+	if len(disable) > 0 {
+		drop := make(map[string]bool, len(disable))
+		for _, name := range disable {
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		var kept []*Analyzer
+		for _, a := range out {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
+	}
+	return out, nil
+}
+
+// knownChecks is the set of analyzer names in the suite, for validating
+// allow directives (allowjustify flags directives naming anything else).
+func knownChecks() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // AllowDirective is the comment prefix that suppresses findings.
 const AllowDirective = "distlint:allow"
+
+// allowSpec is one parsed //distlint:allow directive.
+type allowSpec struct {
+	comment       *ast.Comment
+	checks        []string // named analyzers, in directive order
+	justification string   // trailing free text, "" when missing
+}
+
+// parseAllow parses c as an allow directive; ok is false when c is not one.
+// A directive is "//distlint:allow <check>[,<check>...] <justification>".
+func parseAllow(c *ast.Comment) (spec allowSpec, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, AllowDirective) {
+		return allowSpec{}, false
+	}
+	rest := strings.TrimPrefix(text, AllowDirective)
+	spec.comment = c
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return spec, true // degenerate directive: no checks, no justification
+	}
+	for _, check := range strings.Split(fields[0], ",") {
+		if check = strings.TrimSpace(check); check != "" {
+			spec.checks = append(spec.checks, check)
+		}
+	}
+	spec.justification = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	return spec, true
+}
+
+// allows collects every allow directive in the package's files, in file
+// order. Results are memoized on the package so the directive scan — like
+// the type-check pass — happens once however many analyzers consume it.
+func (p *Package) allows() []allowSpec {
+	if p.allowSpecs != nil {
+		return *p.allowSpecs
+	}
+	specs := []allowSpec{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if spec, ok := parseAllow(c); ok {
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+	p.allowSpecs = &specs
+	return specs
+}
 
 // allowKey identifies a (file, line) position an allow directive covers.
 type allowKey struct {
@@ -71,57 +231,49 @@ type allowKey struct {
 	line int
 }
 
-// allowSet maps covered positions to the set of allowed check names.
-type allowSet map[allowKey]map[string]bool
+// allowSet maps covered positions to allowed check names and the directive
+// justification. A directive covers its own line and the line directly
+// below it, so it can sit at the end of the flagged line or alone on the
+// line above.
+type allowSet map[allowKey]map[string]string
 
-// collectAllows scans a package's comments for //distlint:allow directives.
-// A directive covers its own line and the line directly below it, so it can
-// sit at the end of the flagged line or alone on the line above.
 func collectAllows(p *Package) allowSet {
-	allows := make(allowSet)
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, AllowDirective) {
-					continue
+	set := make(allowSet)
+	for _, spec := range p.allows() {
+		pos := p.Fset.Position(spec.comment.Pos())
+		for _, check := range spec.checks {
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				k := allowKey{file: pos.Filename, line: line}
+				if set[k] == nil {
+					set[k] = make(map[string]string)
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, AllowDirective))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				for _, check := range strings.Split(fields[0], ",") {
-					check = strings.TrimSpace(check)
-					if check == "" {
-						continue
-					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						k := allowKey{file: pos.Filename, line: line}
-						if allows[k] == nil {
-							allows[k] = make(map[string]bool)
-						}
-						allows[k][check] = true
-					}
-				}
+				set[k][check] = spec.justification
 			}
 		}
 	}
-	return allows
+	return set
 }
 
-// Run executes the analyzers over the packages, drops suppressed findings,
-// and returns the survivors sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// RunAll executes the analyzers over the packages and returns every finding,
+// suppressed ones included (marked, with their justification), sorted by
+// position. Analyzer severities fill in zero-valued diagnostic severities.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
 		allows := collectAllows(p)
 		for _, a := range analyzers {
+			sev := a.Severity
+			if sev == 0 {
+				sev = SevError
+			}
 			for _, d := range a.Run(p) {
+				if d.Severity == 0 {
+					d.Severity = sev
+				}
 				k := allowKey{file: d.Pos.Filename, line: d.Pos.Line}
-				if allows[k][d.Check] {
-					continue
+				if why, ok := allows[k][d.Check]; ok {
+					d.Suppressed = true
+					d.Justification = why
 				}
 				out = append(out, d)
 			}
@@ -143,7 +295,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// diag builds a Diagnostic for a node in p.
+// Run executes the analyzers and returns only the unsuppressed findings,
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range RunAll(pkgs, analyzers) {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// diag builds a Diagnostic for a node in p with the analyzer's default
+// severity (filled in by RunAll).
 func diag(p *Package, n ast.Node, check, format string, args ...any) Diagnostic {
 	return Diagnostic{
 		Pos:     p.Fset.Position(n.Pos()),
@@ -168,6 +333,34 @@ func underAny(path string, roots []string) bool {
 		}
 	}
 	return false
+}
+
+// inScope reports whether path lies at or below the module-relative package
+// suffix (e.g. "/internal/experiments").
+func inScope(path, suffix string) bool {
+	return strings.HasSuffix(path, suffix) || strings.Contains(path, suffix+"/")
+}
+
+// callSite is one resolved pkg.Func(...) call.
+type callSite struct {
+	node *ast.CallExpr
+	pkg  string // import path of the called package
+	fn   string // function name
+}
+
+// forEachPkgCall walks f invoking fn for every call that is a direct
+// pkg.Func selector (as resolved by pkgFuncOf).
+func forEachPkgCall(p *Package, f *ast.File, fn func(callSite)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name := pkgFuncOf(p, call); pkgPath != "" {
+			fn(callSite{node: call, pkg: pkgPath, fn: name})
+		}
+		return true
+	})
 }
 
 // inspectWithStack walks f invoking fn with each node and the stack of its

@@ -23,6 +23,8 @@ type Package struct {
 	Files []*ast.File // non-test files only
 	Types *types.Package
 	Info  *types.Info
+
+	allowSpecs *[]allowSpec // memoized //distlint:allow directives (see allows)
 }
 
 // Loader parses and type-checks packages of a single module using only the

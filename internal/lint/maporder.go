@@ -6,17 +6,33 @@ import (
 	"strings"
 )
 
+// MapOrderSortFuncs is the explicit whitelist hook for the collect-then-sort
+// recognizer: additional function or method names (exact match) that
+// establish a deterministic order over a collected slice, beyond sort.*/
+// slices.* and names containing "sort". Populate it before Run — e.g.
+// cmd/distlint's -maporder-sortfuncs flag — for repo-local canonicalization
+// helpers whose names the heuristic cannot guess.
+var MapOrderSortFuncs = map[string]bool{}
+
 // MapOrder returns the maporder analyzer: in non-test internal/... code,
 // `range` over a map is flagged unless the loop only collects keys/values
-// into slices that are subsequently sorted in the same block — the
+// into slices that are subsequently sorted later in the same function — the
 // collect-then-sort idiom (see internal/shortcut/region.go, separator
 // folding). Go randomizes map iteration order per execution, so any other
 // map range can leak schedule nondeterminism into measured round counts.
+//
+// The recognizer is intraprocedural: the sort call may appear in any
+// enclosing statement list of the same function *after* the collecting
+// loop (not only the loop's own block), so collect-inside-a-condition /
+// sort-at-function-end no longer false-positives. Helpers recognized as
+// sorting are sort.*/slices.* calls, names containing "sort", and the
+// MapOrderSortFuncs whitelist.
 func MapOrder() *Analyzer {
 	return &Analyzer{
-		Name: "maporder",
+		Name:     "maporder",
+		Severity: SevError,
 		Doc: "flags range over a map in internal packages unless the keys are " +
-			"collected into a slice and sorted before use",
+			"collected into a slice and sorted before use (function-level scan)",
 		Run: runMapOrder,
 	}
 }
@@ -54,50 +70,68 @@ func runMapOrder(p *Package) []Diagnostic {
 // collectThenSort reports whether rs is the blessed idiom: the loop body
 // only collects loop variables (or expressions over them) into slices —
 // append assignments, possibly behind filtering if/continue — and at least
-// one of those slices is later passed to a sort call in the enclosing block.
+// one of those slices is later passed to a sort call. The scan is
+// function-level: starting from the loop's own statement list, every
+// enclosing statement list up to the function boundary is searched, but
+// only at statements that execute after the loop (lexically after the
+// chain node containing it).
 func collectThenSort(p *Package, rs *ast.RangeStmt, stack []ast.Node) bool {
 	targets := make(map[string]bool)
 	if !collectOnly(rs.Body.List, targets) || len(targets) == 0 {
 		return false
 	}
-	// Find the statement list holding rs and scan the statements after it
-	// for a call whose name mentions sorting and whose arguments mention a
-	// collection target.
-	block := enclosingStmts(rs, stack)
-	if block == nil {
-		return false
-	}
-	after := false
-	for _, st := range block {
-		if st == ast.Stmt(rs) {
-			after = true
+	child := ast.Node(rs)
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // function boundary: stop
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			child = b
 			continue
 		}
-		if !after {
-			continue
-		}
-		sorted := false
-		ast.Inspect(st, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
+		after := false
+		for _, st := range list {
+			if ast.Node(st) == child {
+				after = true
+				continue
+			}
+			if after && sortsATarget(st, targets) {
 				return true
 			}
-			if !isSortCall(call) {
-				return true
-			}
-			for _, arg := range call.Args {
-				if id, ok := arg.(*ast.Ident); ok && targets[id.Name] {
-					sorted = true
-					return false
-				}
-			}
-			return true
-		})
-		if sorted {
-			return true
 		}
+		child = stack[i]
 	}
 	return false
+}
+
+// sortsATarget reports whether st contains a sort call over one of the
+// collection targets.
+func sortsATarget(st ast.Stmt, targets map[string]bool) bool {
+	sorted := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && targets[id.Name] {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
 }
 
 // collectOnly reports whether every statement is an append into a slice
@@ -151,40 +185,20 @@ func collectOnly(stmts []ast.Stmt, targets map[string]bool) bool {
 	return true
 }
 
-// enclosingStmts returns the statement list that directly contains rs.
-func enclosingStmts(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
-	for i := len(stack) - 1; i >= 0; i-- {
-		var list []ast.Stmt
-		switch b := stack[i].(type) {
-		case *ast.BlockStmt:
-			list = b.List
-		case *ast.CaseClause:
-			list = b.Body
-		case *ast.CommClause:
-			list = b.Body
-		default:
-			continue
-		}
-		for _, st := range list {
-			if st == ast.Stmt(rs) {
-				return list
-			}
-		}
-	}
-	return nil
-}
-
-// isSortCall recognizes sort.X(...) and helper functions whose name
-// contains "sort" (sortNodeIDs, sortEdgeIDs, ...).
+// isSortCall recognizes sort.X(...), helper functions whose name contains
+// "sort" (sortNodeIDs, sortEdgeIDs, ...), and names explicitly whitelisted
+// through MapOrderSortFuncs.
 func isSortCall(call *ast.CallExpr) bool {
 	switch fn := call.Fun.(type) {
 	case *ast.Ident:
-		return strings.Contains(strings.ToLower(fn.Name), "sort")
+		return MapOrderSortFuncs[fn.Name] ||
+			strings.Contains(strings.ToLower(fn.Name), "sort")
 	case *ast.SelectorExpr:
 		if pkg, ok := fn.X.(*ast.Ident); ok && (pkg.Name == "sort" || pkg.Name == "slices") {
 			return true
 		}
-		return strings.Contains(strings.ToLower(fn.Sel.Name), "sort")
+		return MapOrderSortFuncs[fn.Sel.Name] ||
+			strings.Contains(strings.ToLower(fn.Sel.Name), "sort")
 	}
 	return false
 }

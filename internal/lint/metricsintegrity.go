@@ -21,7 +21,8 @@ var metricsOwners = map[string][]string{
 // fabricate or corrupt measured round counts.
 func MetricsIntegrity() *Analyzer {
 	return &Analyzer{
-		Name: "metricsintegrity",
+		Name:     "metricsintegrity",
+		Severity: SevError,
 		Doc: "flags direct writes to congest/ncc metrics state outside the " +
 			"owning package; accounting must go through charging primitives",
 		Run: runMetricsIntegrity,

@@ -19,7 +19,8 @@ import (
 // operand) is allowed; only deriving new values from it by hand is not.
 func SeedDerive() *Analyzer {
 	return &Analyzer{
-		Name: "seedderive",
+		Name:     "seedderive",
+		Severity: SevError,
 		Doc: "requires child seeds to come from seedderive.Derive, banning " +
 			"ad-hoc arithmetic on seed-named identifiers in internal/ packages",
 		Run: runSeedDerive,

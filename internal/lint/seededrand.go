@@ -13,21 +13,20 @@ import (
 //   - math/rand (and math/rand/v2) package-level RNG functions, which draw
 //     from a shared global source (rand.Intn, rand.Shuffle, rand.Seed, ...);
 //   - seeding an RNG from the wall clock (time.Now inside the arguments of
-//     rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8);
-//   - any time.Now call at all in simulator code (internal/... except
-//     internal/experiments, whose harness may legitimately time wall-clock
-//     durations).
+//     rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8).
 //
 // seededrand polices where entropy enters; its companion seedderive (see
-// SeedDerive) polices how one seed becomes many. Together they implement
-// the DESIGN.md §7 concurrency & determinism contract: every RNG stream
-// is a pure function of the explicit base seed and the point's position
-// in the sweep, never of wall clock or execution order.
+// SeedDerive) polices how one seed becomes many, and walltime (see
+// WallTime) bans every other clock read in simulator packages. Together
+// they implement the DESIGN.md §7 concurrency & determinism contract:
+// every RNG stream is a pure function of the explicit base seed and the
+// point's position in the sweep, never of wall clock or execution order.
 func SeededRand() *Analyzer {
 	return &Analyzer{
-		Name: "seededrand",
-		Doc: "bans global math/rand functions, wall-clock-derived RNG seeds, " +
-			"and time.Now in simulator packages",
+		Name:     "seededrand",
+		Severity: SevError,
+		Doc: "bans global math/rand functions and wall-clock-derived RNG " +
+			"seeds in all non-test packages",
 		Run: runSeededRand,
 	}
 }
@@ -52,13 +51,10 @@ var randConstructors = map[string]bool{
 }
 
 func runSeededRand(p *Package) []Diagnostic {
-	banClock := underInternal(p.Path) &&
-		!strings.HasSuffix(p.Path, "/internal/experiments") &&
-		!strings.Contains(p.Path, "/internal/experiments/")
 	var out []Diagnostic
 	for _, f := range p.Files {
-		// Clock calls already reported as wall-clock seeds are not
-		// re-reported by the blanket time.Now ban.
+		// Nested constructors (rand.New(rand.NewSource(...))) both see the
+		// same clock call; report it once.
 		seedClocks := make(map[ast.Node]bool)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -74,18 +70,11 @@ func runSeededRand(p *Package) []Diagnostic {
 					return true
 				}
 				if randConstructors[fn] {
-					// Nested constructors (rand.New(rand.NewSource(...)))
-					// both see the same clock call; report it once.
 					if clock := findClockCall(p, call); clock != nil && !seedClocks[clock] {
 						seedClocks[clock] = true
 						out = append(out, diag(p, clock, "seededrand",
 							"RNG seeded from the wall clock is not replayable; thread an explicit Seed option instead"))
 					}
-				}
-			case "time":
-				if fn == "Now" && banClock && !seedClocks[call] {
-					out = append(out, diag(p, call, "seededrand",
-						"time.Now in simulator package %s breaks replayability; wall-clock timing belongs in cmd/ or internal/experiments", p.Path))
 				}
 			}
 			return true

@@ -1,0 +1,38 @@
+// Package allowjustify is a distlint fixture: suppression directives with
+// and without the mandatory justification.
+package allowjustify
+
+import "math/rand"
+
+// Unjustified suppresses seededrand but gives no reason: the directive
+// itself is flagged (the seededrand finding stays suppressed).
+func Unjustified() int {
+	//distlint:allow seededrand
+	return rand.Intn(3)
+}
+
+// Justified carries a reason: nothing flagged.
+func Justified() int {
+	//distlint:allow seededrand fixture: demonstrates the justified form
+	return rand.Intn(3)
+}
+
+// Typo names an analyzer that does not exist: flagged (and suppresses
+// nothing, so the seededrand finding also surfaces).
+func Typo() int {
+	//distlint:allow seedrand fixture: misspelled analyzer name
+	return rand.Intn(3)
+}
+
+// Bare names no analyzer at all: flagged.
+func Bare() int {
+	//distlint:allow
+	return rand.Intn(5) //distlint:allow seededrand fixture: the bare directive above suppresses nothing
+}
+
+// Meta suppresses the justifier itself — legal, but only with a reason.
+func Meta() int {
+	//distlint:allow allowjustify fixture: migration period for the directive below
+	//distlint:allow seededrand
+	return rand.Intn(7)
+}

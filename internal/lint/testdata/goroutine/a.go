@@ -1,0 +1,40 @@
+// Package goroutine is a distlint fixture: unmanaged concurrency in
+// simulator code alongside the single-threaded forms that stay legal.
+package goroutine
+
+import "sync"
+
+// Spawn launches an unmanaged goroutine: flagged.
+func Spawn(f func()) {
+	go f() // violation: go statement
+}
+
+// Chan constructs a channel: flagged (buffered or not).
+func Chan() chan int {
+	return make(chan int, 4) // violation: channel make
+}
+
+// Shared declares a sync.Map: flagged.
+func Shared() *sync.Map {
+	var m sync.Map // violation: sync.Map use
+	return &m
+}
+
+// Sanctioned is the suppressed form for code audited to be replay-safe.
+func Sanctioned(f func()) {
+	//distlint:allow goroutine fixture: replayed through the recorder, joined before any charge
+	go f()
+}
+
+// Local uses maps, slices, and a mutex — all single-goroutine safe: never
+// flagged.
+func Local() int {
+	m := make(map[int]int, 8)
+	s := make([]int, 0, 8)
+	var mu sync.Mutex
+	mu.Lock()
+	m[1] = 1
+	s = append(s, m[1])
+	mu.Unlock()
+	return len(s)
+}

@@ -64,3 +64,55 @@ func SliceRange(a []int) int {
 	}
 	return s
 }
+
+// CollectSortOuter collects inside a conditional block and sorts at the end
+// of the function: accepted by the function-level scan (previously a false
+// positive of the block-local recognizer).
+func CollectSortOuter(m map[int]bool, extra bool) []int {
+	var keys []int
+	if extra {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CollectInLoopSortAfter collects across loop iterations and sorts once
+// after the loop: accepted by the function-level scan.
+func CollectInLoopSortAfter(ms []map[int]bool) []int {
+	var keys []int
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CollectCanonical orders through a helper whose name the heuristic cannot
+// match: flagged by default, accepted when "canonicalize" is whitelisted
+// through MapOrderSortFuncs.
+func CollectCanonical(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // violation unless canonicalize is whitelisted
+		keys = append(keys, k)
+	}
+	canonicalize(keys)
+	return keys
+}
+
+func canonicalize(a []int) { sort.Ints(a) }
+
+// SortBeforeNotAfter sorts before the loop only: still flagged (the scan
+// looks strictly after the collecting loop).
+func SortBeforeNotAfter(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	sort.Ints(keys)
+	for k := range m { // violation: nothing sorts after the collection
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,38 @@
+// Package walltime is a distlint fixture: wall-clock reads in simulator
+// code alongside the pure time-arithmetic forms that stay legal.
+package walltime
+
+import "time"
+
+// Stamp reads the clock: flagged.
+func Stamp() time.Time {
+	return time.Now() // violation: wall-clock read
+}
+
+// Elapsed measures a wall duration: flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // violation: wall-clock read
+}
+
+// Nap sleeps on the runtime timer heap: flagged.
+func Nap() {
+	time.Sleep(time.Millisecond) // violation: timer dependence
+}
+
+// Justified is the suppressed form (the harness exemption made explicit).
+func Justified() time.Time {
+	//distlint:allow walltime fixture: diagnostic-only timestamp, never feeds a measurement
+	return time.Now()
+}
+
+// Arithmetic manipulates durations without observing the clock: never
+// flagged.
+func Arithmetic(d time.Duration) time.Duration {
+	return 2*d + time.Second
+}
+
+// Fixed builds a constant instant without observing the clock: never
+// flagged.
+func Fixed() time.Time {
+	return time.Unix(0, 0)
+}

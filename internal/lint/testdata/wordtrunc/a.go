@@ -1,0 +1,50 @@
+// Package wordtrunc is a distlint fixture: value-changing conversions into
+// congest.Word alongside the sanctioned encodings the analyzer must accept.
+package wordtrunc
+
+import "distlap/internal/congest"
+
+// FloatCast truncates the fractional part: flagged.
+func FloatCast(f float64) congest.Word {
+	return congest.Word(f) // violation: float -> Word truncation
+}
+
+// UnsignedCast can wrap negative: flagged.
+func UnsignedCast(u uint64) congest.Word {
+	return congest.Word(u) // violation: uint64 -> Word reinterpretation
+}
+
+// Packed hand-packs two fields into one word: flagged.
+func Packed(a, b int) congest.Word {
+	return congest.Word(a)<<20 | congest.Word(b) // violation: unchecked packing
+}
+
+// Justified is the suppressed form of a deliberate bit-level encoding.
+func Justified(u uint64) congest.Word {
+	//distlint:allow wordtrunc fixture: exact round-trip, values are 48-bit hashes
+	return congest.Word(u)
+}
+
+// IntCast widens a signed int: never flagged.
+func IntCast(i int) congest.Word {
+	return congest.Word(i)
+}
+
+// ConstCast converts a constant exactly: never flagged.
+func ConstCast() congest.Word {
+	return congest.Word(7)
+}
+
+// Sentinel is a constant shift expression, not a payload: never flagged.
+const Sentinel = congest.Word(1) << 40
+
+// ViaFloatWord uses the sanctioned encoder: never flagged.
+func ViaFloatWord(f float64) congest.Word {
+	return congest.FloatWord(f)
+}
+
+// PlainShift shifts a Word-typed variable (no conversion): never flagged —
+// checked packing helpers inside congest are built from these.
+func PlainShift(w congest.Word) congest.Word {
+	return w << 3
+}

@@ -19,7 +19,8 @@ const simtracePath = "distlap/internal/simtrace"
 // frame.
 func TracePhase() *Analyzer {
 	return &Analyzer{
-		Name: "tracephase",
+		Name:     "tracephase",
+		Severity: SevError,
 		Doc: "flags simtrace.Begin calls without a lexically matching End " +
 			"in the same function scope (and stray Ends without a Begin)",
 		Run: runTracePhase,
