@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact
+.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact daemon-smoke
 
-check: build vet lint test trace-smoke
+check: build vet lint test trace-smoke daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -31,13 +31,15 @@ lint-json:
 test:
 	$(GO) test -race ./...
 
-# Focused race-detector pass over the only packages sanctioned to spawn
-# goroutines (the experiments worker pool and the simtrace writer); -count=2
-# shakes out ordering flakes a single run can miss. The goroutine analyzer
-# guarantees concurrency cannot creep in anywhere else, which is what keeps
-# this narrow target a sound whole-repo concurrency gate.
+# Focused race-detector pass over the packages sanctioned to run
+# goroutines — the experiments worker pool, the simtrace writer, the
+# distlapd serving layer — plus the root package, whose prepared-Instance
+# concurrency tests hammer one shared instance from parallel solvers;
+# -count=2 shakes out ordering flakes a single run can miss. The goroutine
+# analyzer guarantees concurrency cannot creep in anywhere else, which is
+# what keeps this narrow target a sound whole-repo concurrency gate.
 race:
-	$(GO) test -race -count=2 ./internal/experiments/... ./internal/simtrace/...
+	$(GO) test -race -count=2 . ./internal/experiments/... ./internal/simtrace/... ./internal/service/...
 
 # Suite benchmark: full sweeps through cmd/bench, emitting the
 # machine-readable trajectory file BENCH_local.json (schema in README
@@ -76,6 +78,13 @@ trace-smoke:
 	$(GO) run ./cmd/simtrace $(CURDIR)/.trace-smoke.jsonl >/dev/null
 	rm -f $(CURDIR)/.trace-smoke.jsonl
 	@echo trace-smoke: accounting identity holds
+
+# Daemon smoke test: distlapd's -selftest drives the whole request cycle
+# (load → list → solve → multi-RHS batch → flow → mst → evict → 404)
+# in-process and exits nonzero on any mismatch, including a divergence
+# between a single solve and batch entry 0's derived-seed replay.
+daemon-smoke:
+	$(GO) run ./cmd/distlapd -selftest
 
 # Flamegraph folded stacks for the solver experiment: a round-resolved
 # trace of E9b rendered as `path weight` lines (feed into flamegraph.pl or

@@ -6,9 +6,12 @@ package distlap_test
 // tables themselves come from `go run ./cmd/experiments`.
 
 import (
+	"context"
 	"testing"
 
+	"distlap"
 	"distlap/internal/experiments"
+	"distlap/internal/linalg"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -62,6 +65,51 @@ func benchSuite(b *testing.B, parallel int) {
 			if len(tbl.Rows) == 0 {
 				b.Fatal("empty table")
 			}
+		}
+	}
+}
+
+// BenchmarkSolveCold vs BenchmarkInstanceResolve measure the amortization
+// the prepared-Instance API buys: the cold path rebuilds the full per-graph
+// setup (trees, cluster covers, preconditioner state) on every solve, while
+// the instance path prepares once outside the timed loop and each timed
+// solve pays iteration only. Neither feeds the gated BENCH metrics — this
+// pair exists for `go test -bench Solve` comparisons on a developer box.
+
+func benchGraphAndRHS() (*distlap.Graph, []float64) {
+	for _, f := range distlap.Families() {
+		if f.Name == "grid" {
+			g := f.Make(100)
+			return g, linalg.RandomBVector(g.N(), 5)
+		}
+	}
+	panic("no grid family")
+}
+
+func BenchmarkSolveCold(b *testing.B) {
+	g, rhs := benchGraphAndRHS()
+	sv := distlap.NewSolver(distlap.WithEps(1e-8), distlap.WithSeed(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Solve(g, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstanceResolve(b *testing.B) {
+	g, rhs := benchGraphAndRHS()
+	sv := distlap.NewSolver(distlap.WithEps(1e-8), distlap.WithSeed(1))
+	inst, err := sv.Prepare(context.Background(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Solve(context.Background(), rhs, distlap.WithRequestSeed(1)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

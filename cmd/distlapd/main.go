@@ -1,0 +1,140 @@
+// Command distlapd serves the distributed Laplacian solver over HTTP: load
+// a graph once (paying instance preparation — trees, cluster covers,
+// preconditioner state — exactly once), then issue solve, multi-RHS batch,
+// electrical-flow and MST requests against the cached instance, each paying
+// only iteration cost. Instances live in a byte-budgeted LRU cache.
+//
+// Usage:
+//
+//	distlapd [-addr :8090] [-cache-bytes 67108864]
+//	distlapd -selftest
+//
+// The API is JSON over stdlib net/http (see internal/service):
+//
+//	POST   /v1/graphs             {"id":"g1","graph":{"family":"grid","size":100},"seed":1}
+//	GET    /v1/graphs
+//	DELETE /v1/graphs/{id}
+//	POST   /v1/graphs/{id}/solve  {"b":[...]} or {"bs":[[...],[...]]}
+//	POST   /v1/graphs/{id}/flow   {"s":0,"t":5}
+//	POST   /v1/graphs/{id}/mst    {}
+//
+// Responses are deterministic: identical requests against daemons started
+// with identical configuration produce byte-identical JSON.
+//
+// -selftest exercises the full request cycle in-process (no sockets) and
+// exits nonzero on any mismatch; CI runs it as the daemon smoke test.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"distlap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes, "instance cache budget in bytes")
+	selftest := flag.Bool("selftest", false, "run the in-process request-cycle smoke test and exit")
+	flag.Parse()
+
+	srv := service.New(service.Config{CacheBytes: *cacheBytes})
+	if *selftest {
+		if err := runSelftest(srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "selftest:", err)
+			os.Exit(1)
+		}
+		fmt.Println("distlapd selftest ok")
+		return
+	}
+	log.Printf("distlapd listening on %s (cache budget %d bytes)", *addr, *cacheBytes)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// runSelftest drives the whole request cycle against the handler in-process:
+// load → list → solve → batch (checking the single solve is byte-identical
+// to batch entry 0's derivation) → flow → mst → evict → 404.
+func runSelftest(h http.Handler) error {
+	do := func(method, path, body string) (int, []byte) {
+		req := httptest.NewRequest(method, path, bytes.NewBufferString(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}
+	expect := func(step string, code, want int, body []byte) error {
+		if code != want {
+			return fmt.Errorf("%s: status %d (want %d): %s", step, code, want, body)
+		}
+		return nil
+	}
+
+	code, body := do("POST", "/v1/graphs",
+		`{"id":"self","graph":{"family":"grid","size":36},"seed":7,"eps":1e-6}`)
+	if err := expect("load", code, http.StatusOK, body); err != nil {
+		return err
+	}
+	code, body = do("GET", "/v1/graphs", "")
+	if err := expect("list", code, http.StatusOK, body); err != nil {
+		return err
+	}
+	if !bytes.Contains(body, []byte(`"id":"self"`)) {
+		return fmt.Errorf("list: loaded instance missing: %s", body)
+	}
+
+	// One unit-demand RHS on the 6x6 grid (36 nodes, sum zero).
+	b := make([]float64, 36)
+	b[0], b[35] = 1, -1
+	rhs, err := jsonFloats(b)
+	if err != nil {
+		return err
+	}
+	code, single := do("POST", "/v1/graphs/self/solve", `{"b":`+rhs+`}`)
+	if err := expect("solve", code, http.StatusOK, single); err != nil {
+		return err
+	}
+	code, batch := do("POST", "/v1/graphs/self/solve", `{"bs":[`+rhs+`,`+rhs+`]}`)
+	if err := expect("batch", code, http.StatusOK, batch); err != nil {
+		return err
+	}
+	// Batch RHS 0 derives the same request seed as the single solve, so the
+	// single response's sole result must appear verbatim inside the batch.
+	if !bytes.Contains(batch, bytes.TrimSuffix(bytes.TrimPrefix(single, []byte(`{"results":[`)), []byte("]}\n"))) {
+		return fmt.Errorf("batch entry 0 diverged from single solve")
+	}
+
+	code, body = do("POST", "/v1/graphs/self/flow", `{"s":0,"t":35}`)
+	if err := expect("flow", code, http.StatusOK, body); err != nil {
+		return err
+	}
+	code, body = do("POST", "/v1/graphs/self/mst", `{}`)
+	if err := expect("mst", code, http.StatusOK, body); err != nil {
+		return err
+	}
+	code, body = do("DELETE", "/v1/graphs/self", "")
+	if err := expect("evict", code, http.StatusOK, body); err != nil {
+		return err
+	}
+	code, body = do("POST", "/v1/graphs/self/solve", `{"b":`+rhs+`}`)
+	if err := expect("post-evict solve", code, http.StatusNotFound, body); err != nil {
+		return err
+	}
+	return nil
+}
+
+func jsonFloats(xs []float64) (string, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, x := range xs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%g", x)
+	}
+	buf.WriteByte(']')
+	return buf.String(), nil
+}

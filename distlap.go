@@ -15,8 +15,16 @@
 //
 // The preferred API is the Solver: construct once with functional options
 // (WithMode, WithEps, WithSeed, WithTrace, WithChebyshev) and call its
-// methods. The package-level functions (Solve, Flow, MaxFlow, ...) are
-// thin wrappers over a default-configured Solver, kept for compatibility.
+// methods. For repeated work on one graph — multiple right-hand sides,
+// flow queries, a serving daemon (cmd/distlapd) — call Solver.Prepare once
+// and issue requests against the returned Instance: per-graph setup is paid
+// exactly once and every request runs only iteration.
+//
+// The package-level functions (Solve, Flow, MaxFlow, ...) are frozen
+// compatibility wrappers over a default-configured Solver: they remain
+// supported and behavior-stable (none will be removed), but they gain no
+// new capabilities — new code should construct a Solver, and latency- or
+// throughput-sensitive code should Prepare an Instance.
 //
 // Everything is implemented on a deterministic CONGEST / NCC / HYBRID
 // simulator that physically moves O(log n)-bit messages and measures
@@ -68,8 +76,10 @@ type Result = core.Result
 // the given communication model and reports the measured round complexity.
 // b must sum to (approximately) zero; the solution is mean-centered.
 //
-// Prefer the Solver API: NewSolver(WithMode(mode), WithEps(eps),
-// WithSeed(seed)).Solve(g, b).
+// Solve is a frozen compatibility wrapper (see the package comment). Prefer
+// the Solver API — NewSolver(WithMode(mode), WithEps(eps),
+// WithSeed(seed)).Solve(g, b) — and Solver.Prepare when solving the same
+// graph more than once.
 func Solve(g *Graph, b []float64, mode Mode, eps float64, seed int64) (*Result, error) {
 	return NewSolver(WithMode(mode), WithEps(eps), WithSeed(seed)).Solve(g, b)
 }

@@ -1,13 +1,51 @@
 package distlap_test
 
 import (
+	"context"
 	"fmt"
 
 	"distlap"
 )
 
-// ExampleSolve solves a tiny Laplacian system and prints the measured
-// round count's positivity and the potential gap.
+// ExampleSolver_Prepare is the preferred repeated-solve pattern: prepare
+// the instance once (paying setup exactly once), then issue requests —
+// single solves, multi-RHS batches, flow queries — against the cached
+// state. Each request pays only iteration cost.
+func ExampleSolver_Prepare() {
+	g := distlap.NewGraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	s := distlap.NewSolver(distlap.WithEps(1e-10))
+
+	inst, err := s.Prepare(context.Background(), g)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// A 2-RHS batch against the one prepared instance: setup is charged
+	// zero times, every request is pure iteration.
+	batch, err := inst.SolveBatch(context.Background(), [][]float64{
+		{1, 0, -1},
+		{-1, 2, -1},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r, err := inst.EffectiveResistance(context.Background(), 0, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("x0-x2 = %.3f, solves = %d, R(0,2) = %.2f\n",
+		batch[0].X[0]-batch[0].X[2], len(batch), r)
+	// Output: x0-x2 = 2.000, solves = 2, R(0,2) = 2.00
+}
+
+// ExampleSolve solves a tiny Laplacian system through the one-shot
+// compatibility wrapper and prints the measured round count's positivity
+// and the potential gap. (For repeated solves on one graph, prefer
+// Solver.Prepare — see ExampleSolver_Prepare.)
 func ExampleSolve() {
 	g := distlap.NewGraph(3)
 	g.MustAddEdge(0, 1, 1)

@@ -32,28 +32,24 @@ type FlowResult struct {
 	Metrics core.Metrics
 }
 
-// Flow solves the unit s-t electrical flow.
-func (el *Electrical) Flow(s, t graph.NodeID) (*FlowResult, error) {
-	n := el.G.N()
+// CheckSTPair validates an s-t terminal pair against g.
+func CheckSTPair(g *graph.Graph, s, t graph.NodeID) error {
+	n := g.N()
 	if s < 0 || s >= n || t < 0 || t >= n {
-		return nil, fmt.Errorf("apps: %w: s=%d t=%d", graph.ErrNodeRange, s, t)
+		return fmt.Errorf("apps: %w: s=%d t=%d", graph.ErrNodeRange, s, t)
 	}
 	if s == t {
-		return nil, fmt.Errorf("apps: s and t coincide (%d)", s)
+		return fmt.Errorf("apps: s and t coincide (%d)", s)
 	}
-	tol := el.Tol
-	if tol <= 0 {
-		tol = 1e-8
-	}
-	b := make([]float64, n)
-	b[s] = 1
-	b[t] = -1
-	res, _, err := core.SolveOnGraphWith(el.G, b, core.SolveConfig{
-		Mode: el.Mode, Tol: tol, Seed: el.Seed, Trace: el.Trace,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return nil
+}
+
+// FlowFromPotentials derives the full electrical-flow result from a solved
+// potential vector for the demand χ_s − χ_t: per-edge Ohm's-law currents,
+// the effective resistance, and the solve's measured cost. It is the
+// shared post-processing of the one-shot path and the prepared-Instance
+// path (which amortizes the solve's setup across requests).
+func FlowFromPotentials(g *graph.Graph, s, t graph.NodeID, res *core.Result) *FlowResult {
 	out := &FlowResult{
 		Potentials: res.X,
 		Resistance: res.X[s] - res.X[t],
@@ -61,11 +57,38 @@ func (el *Electrical) Flow(s, t graph.NodeID) (*FlowResult, error) {
 		Iterations: res.Iterations,
 		Metrics:    res.Metrics,
 	}
-	out.EdgeCurrent = make([]float64, el.G.M())
-	for id, e := range el.G.Edges() {
+	out.EdgeCurrent = make([]float64, g.M())
+	for id, e := range g.Edges() {
 		out.EdgeCurrent[id] = float64(e.Weight) * (res.X[e.U] - res.X[e.V])
 	}
-	return out, nil
+	return out
+}
+
+// UnitDemand returns the right-hand side χ_s − χ_t of a unit s-t flow.
+func UnitDemand(n int, s, t graph.NodeID) []float64 {
+	b := make([]float64, n)
+	b[s] = 1
+	b[t] = -1
+	return b
+}
+
+// Flow solves the unit s-t electrical flow.
+func (el *Electrical) Flow(s, t graph.NodeID) (*FlowResult, error) {
+	if err := CheckSTPair(el.G, s, t); err != nil {
+		return nil, err
+	}
+	tol := el.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	b := UnitDemand(el.G.N(), s, t)
+	res, _, err := core.SolveOnGraphWith(el.G, b, core.SolveConfig{
+		Mode: el.Mode, Tol: tol, Seed: el.Seed, Trace: el.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FlowFromPotentials(el.G, s, t, res), nil
 }
 
 // EffectiveResistance returns just the s-t effective resistance.

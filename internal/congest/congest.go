@@ -73,6 +73,17 @@ type Options struct {
 	// their internally-simulated rounds are distinguishable from rounds
 	// charged on the base network.
 	TraceEngine string
+
+	// Cancel, when non-nil, is polled at every round barrier (the start of
+	// each Exchange round and each tree-scheduler step). A non-nil return
+	// aborts the primitive by panicking with a cancellation sentinel that
+	// CatchCancel converts back into the error at the request boundary.
+	// Long-lived services thread context.Context.Err here so a caller
+	// deadline or disconnect stops a multi-round solve between rounds
+	// instead of after it. Cancellation never perturbs determinism: a run
+	// either completes with the exact metrics the seed dictates or returns
+	// the cancellation error with its partial state discarded.
+	Cancel func() error
 }
 
 // Network is a CONGEST communication network over a fixed graph.
@@ -89,6 +100,48 @@ type Network struct {
 
 // ErrNoTrees is returned by tree primitives invoked with no work.
 var ErrNoTrees = errors.New("congest: no trees given")
+
+// canceled is the panic sentinel that carries an Options.Cancel error out of
+// an engine primitive. Engine primitives charge rounds through void methods
+// (Exchange, the tree scheduler), so cancellation cannot flow back as a
+// return value without changing every signature; instead the barrier check
+// panics with this sentinel and CatchCancel rematerializes the error at the
+// request boundary. The type is unexported so no caller can forge or
+// swallow one accidentally.
+type canceled struct{ err error }
+
+// checkCancel polls Options.Cancel (when set) and aborts the current
+// primitive on a non-nil error. It is called at round barriers only, so a
+// cancelled execution stops on a round boundary with no partially-charged
+// round.
+func (nw *Network) checkCancel() {
+	if nw.opts.Cancel == nil {
+		return
+	}
+	if err := nw.opts.Cancel(); err != nil {
+		panic(canceled{err})
+	}
+}
+
+// CatchCancel recovers a cancellation abort raised by a network's Cancel
+// hook into *errp, re-panicking on every other panic value. Use it as a
+// deferred statement at the boundary that owns the request:
+//
+//	func (in *Instance) Solve(...) (res *Result, err error) {
+//		defer congest.CatchCancel(&err)
+//		...
+//	}
+func CatchCancel(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if c, ok := r.(canceled); ok {
+		*errp = c.err
+		return
+	}
+	panic(r)
+}
 
 // NewNetwork returns a network over g with the given options.
 func NewNetwork(g *graph.Graph, opts Options) *Network {
@@ -176,6 +229,7 @@ func (nw *Network) Exchange(
 	send func(v graph.NodeID, h graph.Half) (Word, bool),
 	recv func(v graph.NodeID, h graph.Half, w Word),
 ) {
+	nw.checkCancel()
 	type delivery struct {
 		to   graph.NodeID
 		half graph.Half // the receiving side's half-edge

@@ -78,6 +78,7 @@ func (s *treeSched) step(deliver func(ps pendingSend)) bool {
 	if len(s.active) == 0 {
 		return false
 	}
+	s.nw.checkCancel()
 	if s.dirty {
 		sortInts(s.active)
 		s.dirty = false

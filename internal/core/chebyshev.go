@@ -19,6 +19,9 @@ type ChebyshevOptions struct {
 	CheckEvery int
 	// MaxIter caps iterations (0 selects the √κ·log(1/Tol) budget).
 	MaxIter int
+	// Cancel, when non-nil, is polled at every iteration boundary; a
+	// non-nil return aborts the solve with that error (see Options.Cancel).
+	Cancel func() error
 }
 
 // SolveChebyshev runs distributed Chebyshev iteration over the comm. Its
@@ -93,6 +96,11 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 	var p []float64
 	alpha := 0.0
 	for it := 1; it <= maxIter; it++ {
+		if opts.Cancel != nil {
+			if err := opts.Cancel(); err != nil {
+				return nil, err
+			}
+		}
 		switch it {
 		case 1:
 			p = linalg.Copy(r)

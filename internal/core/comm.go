@@ -117,7 +117,15 @@ func NewCongestComm(nw *congest.Network, naive bool) (*CongestComm, error) {
 	if len(tree.Members) != g.N() {
 		return nil, errors.New("core: graph disconnected")
 	}
-	return &CongestComm{nw: nw, naive: naive, globalTree: tree}, nil
+	return newCongestCommWithTree(nw, naive, tree), nil
+}
+
+// newCongestCommWithTree wraps a network with an already-built global tree —
+// the per-request constructor of a prepared Instance. It never charges
+// rounds: the tree (and, in ModeCongest, the BFS that paid for it) belongs
+// to the instance's one-time setup, which is the whole amortization story.
+func newCongestCommWithTree(nw *congest.Network, naive bool, tree *graph.Tree) *CongestComm {
+	return &CongestComm{nw: nw, naive: naive, globalTree: tree}
 }
 
 // Name implements Comm.

@@ -16,6 +16,9 @@ type CommConfig struct {
 	// collector is shared by every engine the comm builds (the CONGEST
 	// network and, in hybrid mode, the NCC clique).
 	Trace simtrace.Collector
+	// Cancel is polled at engine round barriers (see
+	// congest.Options.Cancel); nil disables cancellation.
+	Cancel func() error
 }
 
 // NewComm builds the standard communication substrate for a mode.
@@ -32,19 +35,19 @@ func NewCommWith(g *graph.Graph, cfg CommConfig) (Comm, error) {
 	defer tr.End("comm-setup")
 	switch cfg.Mode {
 	case ModeUniversal:
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr, Cancel: cfg.Cancel})
 		return NewCongestComm(nw, false)
 	case ModeCongest:
-		nw := congest.NewNetwork(g, congest.Options{Supported: false, Seed: cfg.Seed, Trace: tr})
+		nw := congest.NewNetwork(g, congest.Options{Supported: false, Seed: cfg.Seed, Trace: tr, Cancel: cfg.Cancel})
 		return NewCongestComm(nw, false)
 	case ModeBaseline:
 		// Supported, so the comparison against ModeUniversal isolates the
 		// aggregation structure (global tree vs per-cluster) rather than
 		// construction costs.
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr, Cancel: cfg.Cancel})
 		return NewCongestComm(nw, true)
 	case ModeHybrid:
-		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr})
+		nw := congest.NewNetwork(g, congest.Options{Supported: true, Seed: cfg.Seed, Trace: tr, Cancel: cfg.Cancel})
 		return NewHybridComm(nw)
 	default:
 		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"distlap/internal/congest"
+	"distlap/internal/graph"
+	"distlap/internal/linalg"
+	"distlap/internal/ncc"
+	"distlap/internal/simtrace"
+)
+
+// Instance is the cached per-graph half of a solve: everything whose cost
+// depends only on the graph — the global (BFS) aggregation tree, the
+// preconditioner's cluster covers and cluster trees, and (for Chebyshev
+// instances) the spectral bounds — built once by PrepareInstance and reused
+// by every request.
+//
+// A prepared Instance is immutable and safe for concurrent use: requests
+// share only read-only state and each request runs on its own freshly
+// seeded engine with its own trace collector. The amortization contract is
+// that no construction phase is ever charged (or traced) after
+// PrepareInstance returns; Solve charges pure iteration cost.
+type Instance struct {
+	g         *graph.Graph
+	mode      Mode
+	seed      int64
+	tol       float64
+	naive     bool
+	hybrid    bool
+	supported bool
+	tree      *graph.Tree
+	pre       Preconditioner // nil for Chebyshev instances
+
+	cheb   bool
+	lo, hi float64 // cached spectral bounds (Chebyshev only)
+
+	setup Metrics // communication cost paid by PrepareInstance
+}
+
+// PrepareConfig configures PrepareInstance.
+type PrepareConfig struct {
+	// Mode selects the communication model (default ModeUniversal).
+	Mode Mode
+	// Tol is the default request tolerance (0 selects 1e-8); individual
+	// requests may override it.
+	Tol float64
+	// Seed drives every randomized setup phase (cluster covers) and is the
+	// base from which callers derive per-request seeds.
+	Seed int64
+	// Trace receives the setup's instrumentation (nil = Nop): the
+	// "prepare" span encloses comm-setup — including the charged BFS in
+	// ModeCongest — and precond-setup with its cluster-tree construction.
+	Trace simtrace.Collector
+	// Chebyshev prepares for Chebyshev iteration instead of PCG: no
+	// preconditioner is built, and the spectral bounds (Lo, Hi, or the safe
+	// automatic ones when zero) are computed once and cached.
+	Chebyshev bool
+	Lo, Hi    float64
+}
+
+// PrepareInstance runs the one-time per-graph pipeline and returns the
+// cached Instance. This is the expensive half the paper's amortization
+// story rests on: low-stretch/BFS tree construction, cluster covers,
+// cluster aggregation trees and preconditioner state are all paid for here,
+// exactly once, so each additional right-hand side pays only iteration.
+// ctx cancels setup between engine rounds.
+func PrepareInstance(ctx context.Context, g *graph.Graph, cfg PrepareConfig) (in *Instance, err error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("core: empty graph")
+	}
+	mode := cfg.Mode
+	if mode == "" {
+		mode = ModeUniversal
+	}
+	tol := cfg.Tol
+	//distlint:allow floateq zero is the "unset" sentinel; negative tolerances must still reach the ErrBadTol check below
+	if tol == 0 {
+		tol = 1e-8
+	}
+	if tol <= 0 || tol >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadTol, tol)
+	}
+	defer congest.CatchCancel(&err)
+	tr := simtrace.OrNop(cfg.Trace)
+	tr.Begin("prepare")
+	defer tr.End("prepare")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := NewCommWith(g, CommConfig{Mode: mode, Seed: cfg.Seed, Trace: tr, Cancel: ctx.Err})
+	if err != nil {
+		return nil, err
+	}
+	in = &Instance{
+		g:      g,
+		mode:   mode,
+		seed:   cfg.Seed,
+		tol:    tol,
+		hybrid: mode == ModeHybrid,
+		naive:  mode == ModeBaseline,
+		cheb:   cfg.Chebyshev,
+	}
+	switch cc := c.(type) {
+	case *CongestComm:
+		in.tree = cc.globalTree
+		in.supported = cc.nw.Supported()
+	case *HybridComm:
+		in.tree = cc.local.globalTree
+		in.supported = cc.local.nw.Supported()
+	default:
+		return nil, fmt.Errorf("core: comm %q exposes no cacheable state", c.Name())
+	}
+	if cfg.Chebyshev {
+		// Spectral bounds are a pure function of the graph — exactly the
+		// kind of per-instance work worth caching (the one-shot path
+		// recomputes them on every solve).
+		lo, hi := cfg.Lo, cfg.Hi
+		if lo <= 0 || hi <= 0 {
+			tr.Begin("spectral-bounds")
+			lo, hi = linalg.SpectralBounds(linalg.NewLaplacian(g))
+			tr.End("spectral-bounds")
+		}
+		if hi <= lo {
+			return nil, fmt.Errorf("core: bad spectral bounds [%g, %g]", lo, hi)
+		}
+		in.lo, in.hi = lo, hi
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pre := DefaultPrecond(g, cfg.Seed)
+		tr.Begin("precond-setup")
+		serr := pre.Setup(c)
+		tr.End("precond-setup")
+		if serr != nil {
+			return nil, fmt.Errorf("core: precond setup: %w", serr)
+		}
+		in.pre = pre
+	}
+	in.setup = c.CollectMetrics()
+	return in, nil
+}
+
+// Request configures one per-request execution against a prepared Instance.
+type Request struct {
+	// Tol overrides the instance's default tolerance when positive.
+	Tol float64
+	// Seed seeds the request's private engine (scheduling randomness).
+	// Callers derive it from the instance seed and a request identity via
+	// internal/seedderive so identical requests replay identically and
+	// distinct requests get unrelated streams.
+	Seed int64
+	// Trace receives this request's instrumentation only (nil = Nop).
+	// Collectors are single-writer: one per request, never shared.
+	Trace simtrace.Collector
+	// Cancel is polled at engine round barriers and iteration boundaries
+	// (thread context.Context.Err here); nil disables cancellation.
+	Cancel func() error
+	// MaxIter caps iterations (0 selects the solver default).
+	MaxIter int
+}
+
+// Graph returns the instance's graph (shared, read-only).
+func (in *Instance) Graph() *graph.Graph { return in.g }
+
+// Mode returns the instance's communication model.
+func (in *Instance) Mode() Mode { return in.mode }
+
+// Seed returns the base seed the instance was prepared with.
+func (in *Instance) Seed() int64 { return in.seed }
+
+// Tol returns the instance's default request tolerance.
+func (in *Instance) Tol() float64 { return in.tol }
+
+// GlobalTree exposes the cached global aggregation tree (read-only).
+func (in *Instance) GlobalTree() *graph.Tree { return in.tree }
+
+// SetupMetrics returns the communication cost PrepareInstance paid (the
+// charged BFS in ModeCongest; zero rounds in the Supported modes).
+func (in *Instance) SetupMetrics() Metrics { return in.setup }
+
+// Comm builds this request's private communication substrate: a freshly
+// seeded engine over the shared graph with the cached global tree injected,
+// so construction charges nothing. Each request must use its own comm —
+// engines are single-goroutine objects; the instance state they share is
+// read-only.
+func (in *Instance) Comm(req Request) Comm {
+	nw := congest.NewNetwork(in.g, congest.Options{
+		Supported: in.supported,
+		Seed:      req.Seed,
+		Trace:     simtrace.OrNop(req.Trace),
+		Cancel:    req.Cancel,
+	})
+	local := newCongestCommWithTree(nw, in.naive, in.tree)
+	if in.hybrid {
+		return &HybridComm{local: local, global: ncc.NewNetworkWith(in.g.N(), nw.Trace())}
+	}
+	return local
+}
+
+// Network builds a request-private supported CONGEST network over the
+// instance's graph (for the non-solve applications: MST, part-wise
+// aggregation). Same isolation contract as Comm.
+func (in *Instance) Network(req Request) *congest.Network {
+	return congest.NewNetwork(in.g, congest.Options{
+		Supported: true,
+		Seed:      req.Seed,
+		Trace:     simtrace.OrNop(req.Trace),
+		Cancel:    req.Cancel,
+	})
+}
+
+// Solve runs the per-request iteration half of a Laplacian solve against
+// the cached instance state: PCG with the prepared preconditioner, or
+// Chebyshev iteration with the cached spectral bounds. The trace it emits
+// contains iteration phases only — setup appeared exactly once, under
+// PrepareInstance's "prepare" span.
+func (in *Instance) Solve(b []float64, req Request) (res *Result, err error) {
+	defer congest.CatchCancel(&err)
+	if req.Cancel != nil {
+		if err := req.Cancel(); err != nil {
+			return nil, err
+		}
+	}
+	tol := req.Tol
+	if tol <= 0 {
+		tol = in.tol
+	}
+	c := in.Comm(req)
+	if in.cheb {
+		return SolveChebyshev(c, b, ChebyshevOptions{
+			Tol: tol, Lo: in.lo, Hi: in.hi, MaxIter: req.MaxIter, Cancel: req.Cancel,
+		})
+	}
+	return Iterate(c, b, in.pre, Options{Tol: tol, MaxIter: req.MaxIter, Cancel: req.Cancel})
+}
+
+// SizeBytes estimates the resident size of the cached instance state —
+// graph, global tree, and preconditioner structures — for cache budgeting
+// (cmd/distlapd's LRU). It is a deterministic structural estimate, not a
+// measured allocation.
+func (in *Instance) SizeBytes() int64 {
+	const (
+		ptrSize   = 8
+		edgeSize  = 3 * 8 // U, V, Weight
+		halfSize  = 2 * 8 // To, Edge
+		sliceHdr  = 3 * 8
+		mapEntry  = 2 * 8 // key + bool bucket share, amortized
+		structPad = 64
+	)
+	n := int64(in.g.N())
+	m := int64(in.g.M())
+	bytes := int64(structPad)
+	bytes += m*edgeSize + 2*m*halfSize + n*sliceHdr // edges + adjacency
+	bytes += treeSizeBytes(in.tree)
+	if sp, ok := in.pre.(*SchwarzPrecond); ok {
+		for _, cl := range sp.clusters {
+			bytes += int64(len(cl)) * ptrSize
+		}
+		for _, t := range sp.trees {
+			bytes += treeSizeBytes(t)
+		}
+		for _, mm := range sp.members {
+			bytes += int64(len(mm)) * mapEntry
+		}
+		bytes += 2 * n * 8 // count + invDeg
+	}
+	return bytes
+}
+
+func treeSizeBytes(t *graph.Tree) int64 {
+	if t == nil {
+		return 0
+	}
+	n := int64(len(t.Parent))
+	return 3*n*8 + int64(len(t.Members))*8
+}

@@ -17,6 +17,12 @@ type Options struct {
 	MaxIter int
 	// Precond selects the preconditioner (nil = identity).
 	Precond Preconditioner
+	// Cancel, when non-nil, is polled at every iteration boundary; a
+	// non-nil return aborts the solve with that error. Engine-internal
+	// round barriers are additionally covered by the comm's own Cancel
+	// hook (congest.Options.Cancel), so a cancelled request stops within
+	// one scheduled round, not one PCG iteration.
+	Cancel func() error
 }
 
 // Result reports a distributed solve.
@@ -54,10 +60,6 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 	if opts.Tol <= 0 || opts.Tol >= 1 {
 		return nil, fmt.Errorf("%w: %g", ErrBadTol, opts.Tol)
 	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 40*n + 200
-	}
 	pre := opts.Precond
 	if pre == nil {
 		pre = &IdentityPrecond{}
@@ -71,6 +73,44 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: precond setup: %w", err)
 	}
+	return iterate(c, b, pre, opts)
+}
+
+// Iterate runs the per-request half of a solve on a preconditioner whose
+// Setup already ran (a prepared Instance, or any caller that amortizes
+// setup across right-hand sides). It charges only iteration cost — no
+// construction phase ever appears in its trace; setup phases belong to
+// Prepare. pre must be non-nil and already set up against a comm over the
+// same graph; its Apply must be read-only (the contract every shipped
+// preconditioner satisfies after Setup).
+func Iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, error) {
+	n := c.Graph().N()
+	if len(b) != n {
+		return nil, fmt.Errorf("core: b has %d entries for n=%d", len(b), n)
+	}
+	if opts.Tol <= 0 || opts.Tol >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadTol, opts.Tol)
+	}
+	if pre == nil {
+		pre = &IdentityPrecond{}
+	}
+	tr := c.Tracer()
+	tr.Begin("solve")
+	defer tr.End("solve")
+	return iterate(c, b, pre, opts)
+}
+
+// iterate is the shared iteration half of Solve and Iterate: from centering
+// b through PCG convergence. The caller holds the "solve" span open and has
+// validated b and Tol; pre is set up.
+func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, error) {
+	g := c.Graph()
+	n := g.N()
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 40*n + 200
+	}
+	tr := c.Tracer()
 
 	// Center b: one global sum, then a local subtraction (n is common
 	// knowledge).
@@ -117,6 +157,11 @@ func Solve(c Comm, b []float64, opts Options) (*Result, error) {
 		return nil, err
 	}
 	for it := 1; it <= maxIter; it++ {
+		if opts.Cancel != nil {
+			if err := opts.Cancel(); err != nil {
+				return nil, err
+			}
+		}
 		tr.Begin("matvec")
 		lp, err := c.MatVecLaplacian(p)
 		tr.End("matvec")

@@ -8,11 +8,15 @@ import (
 // concurrencyExempt are the module-relative package suffixes allowed to use
 // goroutines, channels and sync.Map: the experiment harness's bounded
 // worker pool (whose record-and-replay recorder makes parallel sweeps
-// byte-identical to sequential ones, DESIGN.md §7) and the trace layer
-// whose sinks it drives. CI runs `go test -race` over exactly these
-// packages; everything else in internal/... must stay single-goroutine so
-// the Go scheduler can never order a measured execution.
-var concurrencyExempt = []string{"/internal/experiments", "/internal/simtrace"}
+// byte-identical to sequential ones, DESIGN.md §7), the trace layer whose
+// sinks it drives, and the distlapd serving layer (its mutex-guarded
+// instance cache runs under net/http's per-request goroutines; the solver
+// instances it serves are immutable, so concurrency never reaches a
+// measured engine — each request runs a private one). CI runs
+// `go test -race` over exactly these packages; everything else in
+// internal/... must stay single-goroutine so the Go scheduler can never
+// order a measured execution.
+var concurrencyExempt = []string{"/internal/experiments", "/internal/simtrace", "/internal/service"}
 
 // Goroutine returns the goroutine analyzer: in internal/... outside the
 // sanctioned packages it flags `go` statements, channel construction, and

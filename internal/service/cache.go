@@ -1,0 +1,147 @@
+// Package service implements distlapd's serving layer: a byte-budgeted LRU
+// cache of prepared solver instances (distlap.Instance) behind a stdlib
+// net/http JSON API. The cache is what makes the daemon an amortization
+// demonstrator — each graph pays its setup exactly once at load time, and
+// every subsequent solve/flow/MST request runs pure iteration against the
+// cached state.
+//
+// Determinism obligations: responses are a pure function of (request,
+// instance configuration) — request seeds derive from the instance seed via
+// internal/seedderive unless pinned — so two daemons serve byte-identical
+// JSON for identical requests. The cache itself uses a monotonic access
+// counter for recency (never the wall clock) and iterates its map in sorted
+// key order, so eviction order is deterministic too.
+package service
+
+import (
+	"sort"
+	"sync"
+
+	"distlap"
+)
+
+// InstanceInfo is the serialized description of one cached instance.
+type InstanceInfo struct {
+	ID            string  `json:"id"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Mode          string  `json:"mode"`
+	Eps           float64 `json:"eps"`
+	Seed          int64   `json:"seed"`
+	SizeBytes     int64   `json:"size_bytes"`
+	SetupRounds   int     `json:"setup_rounds"`
+	SetupMessages int64   `json:"setup_messages"`
+}
+
+type cacheEntry struct {
+	inst     *distlap.Instance
+	info     InstanceInfo
+	lastUsed uint64
+}
+
+// instanceCache is a byte-budgeted LRU over prepared instances. Recency is
+// a monotonic access counter (wall-clock time is banned in internal/...,
+// and a counter makes eviction order reproducible). The mutex guards only
+// the map and counters — the instances themselves are immutable and solves
+// run outside the lock.
+type instanceCache struct {
+	mu      sync.Mutex
+	budget  int64
+	clock   uint64
+	total   int64
+	entries map[string]*cacheEntry
+}
+
+func newInstanceCache(budget int64) *instanceCache {
+	return &instanceCache{budget: budget, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached instance and bumps its recency.
+func (c *instanceCache) get(id string) (*distlap.Instance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.lastUsed = c.clock
+	return e.inst, true
+}
+
+// put inserts (or replaces) an instance and evicts least-recently-used
+// entries until the byte budget holds again, never evicting the entry just
+// inserted (a single oversized instance stays resident — the budget bounds
+// the herd, not the individual). It returns the evicted IDs in eviction
+// order.
+func (c *instanceCache) put(id string, inst *distlap.Instance, info InstanceInfo) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[id]; ok {
+		c.total -= old.info.SizeBytes
+	}
+	c.clock++
+	c.entries[id] = &cacheEntry{inst: inst, info: info, lastUsed: c.clock}
+	c.total += info.SizeBytes
+	var evicted []string
+	for c.total > c.budget && len(c.entries) > 1 {
+		victim := ""
+		var oldest uint64
+		ids := make([]string, 0, len(c.entries))
+		for eid := range c.entries {
+			ids = append(ids, eid)
+		}
+		sort.Strings(ids)
+		for _, eid := range ids {
+			if eid == id {
+				continue
+			}
+			if e := c.entries[eid]; victim == "" || e.lastUsed < oldest {
+				victim, oldest = eid, e.lastUsed
+			}
+		}
+		if victim == "" {
+			break
+		}
+		c.total -= c.entries[victim].info.SizeBytes
+		delete(c.entries, victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// evict removes one instance by ID, reporting whether it was present.
+func (c *instanceCache) evict(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	c.total -= e.info.SizeBytes
+	delete(c.entries, id)
+	return true
+}
+
+// list returns the cached instance descriptions sorted by ID.
+func (c *instanceCache) list() []InstanceInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]InstanceInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.entries[id].info)
+	}
+	return out
+}
+
+// totalBytes reports the cache's current resident estimate.
+func (c *instanceCache) totalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

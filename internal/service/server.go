@@ -1,0 +1,408 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"distlap"
+)
+
+// DefaultCacheBytes is the instance-cache budget when Config.CacheBytes is
+// zero: roomy enough for the experiment-scale graphs this repository
+// simulates, small enough that a load test exercises eviction.
+const DefaultCacheBytes int64 = 64 << 20
+
+// Config configures a Server.
+type Config struct {
+	// CacheBytes bounds the summed SizeBytes of cached instances
+	// (0 selects DefaultCacheBytes). One oversized instance may exceed it;
+	// the budget bounds the herd.
+	CacheBytes int64
+}
+
+// Server is the distlapd HTTP service: a JSON API over a byte-budgeted LRU
+// cache of prepared solver instances.
+//
+//	POST   /v1/graphs             load a graph, prepare + cache its instance
+//	GET    /v1/graphs             list cached instances (sorted by id)
+//	DELETE /v1/graphs/{id}        evict one instance
+//	POST   /v1/graphs/{id}/solve  solve one RHS or a multi-RHS batch
+//	POST   /v1/graphs/{id}/flow   unit s-t electrical flow
+//	POST   /v1/graphs/{id}/mst    distributed minimum spanning tree
+//
+// Handlers run concurrently under net/http; the cache is mutex-guarded and
+// the instances themselves are immutable (concurrent solves are the point
+// of the prepared-Instance API). Responses are deterministic: identical
+// requests against identically-configured daemons are byte-identical.
+type Server struct {
+	cache *instanceCache
+	mux   *http.ServeMux
+}
+
+// New returns a Server with its routes installed.
+func New(cfg Config) *Server {
+	budget := cfg.CacheBytes
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	s := &Server{cache: newInstanceCache(budget), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleLoad)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/flow", s.handleFlow)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/mst", s.handleMST)
+	return s
+}
+
+// Handler returns the Server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// GraphSpec describes the graph to load: an explicit edge list or a named
+// standard family with an approximate target size.
+type GraphSpec struct {
+	N      int        `json:"n,omitempty"`
+	Edges  [][3]int64 `json:"edges,omitempty"` // [u, v, weight]
+	Family string     `json:"family,omitempty"`
+	Size   int        `json:"size,omitempty"`
+}
+
+func (gs *GraphSpec) build() (*distlap.Graph, error) {
+	if gs.Family != "" {
+		if gs.Size <= 0 {
+			return nil, errors.New("family graphs need a positive size")
+		}
+		for _, f := range distlap.Families() {
+			if f.Name == gs.Family {
+				return f.Make(gs.Size), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown graph family %q", gs.Family)
+	}
+	if gs.N <= 0 {
+		return nil, errors.New("graph needs n > 0 or a family")
+	}
+	g := distlap.NewGraph(gs.N)
+	for i, e := range gs.Edges {
+		if _, err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// LoadRequest is the body of POST /v1/graphs.
+type LoadRequest struct {
+	ID        string    `json:"id"`
+	Graph     GraphSpec `json:"graph"`
+	Mode      string    `json:"mode,omitempty"` // universal|congest|baseline|hybrid
+	Eps       float64   `json:"eps,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Chebyshev bool      `json:"chebyshev,omitempty"`
+	Lo        float64   `json:"lo,omitempty"`
+	Hi        float64   `json:"hi,omitempty"`
+}
+
+// LoadResponse reports the prepared instance and any cache evictions the
+// load forced.
+type LoadResponse struct {
+	Instance InstanceInfo `json:"instance"`
+	Evicted  []string     `json:"evicted,omitempty"`
+}
+
+func parseMode(s string) (distlap.Mode, error) {
+	switch distlap.Mode(s) {
+	case "":
+		return distlap.ModeUniversal, nil
+	case distlap.ModeUniversal, distlap.ModeCongest, distlap.ModeBaseline, distlap.ModeHybrid:
+		return distlap.Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown mode %q", s)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "instance id is required")
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, err := req.Graph.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := []distlap.Option{distlap.WithMode(mode), distlap.WithSeed(req.Seed)}
+	if req.Eps > 0 {
+		opts = append(opts, distlap.WithEps(req.Eps))
+	}
+	if req.Chebyshev {
+		opts = append(opts, distlap.WithChebyshev(req.Lo, req.Hi))
+	}
+	inst, err := distlap.NewSolver(opts...).Prepare(r.Context(), g)
+	if err != nil {
+		writeSolveError(w, r, err)
+		return
+	}
+	setup := inst.SetupMetrics()
+	info := InstanceInfo{
+		ID:            req.ID,
+		Nodes:         g.N(),
+		Edges:         g.M(),
+		Mode:          string(mode),
+		Eps:           effEps(req.Eps),
+		Seed:          req.Seed,
+		SizeBytes:     inst.SizeBytes(),
+		SetupRounds:   setup.TotalRounds(),
+		SetupMessages: setup.Congest.Messages,
+	}
+	evicted := s.cache.put(req.ID, inst, info)
+	writeJSON(w, http.StatusOK, LoadResponse{Instance: info, Evicted: evicted})
+}
+
+func effEps(eps float64) float64 {
+	if eps > 0 {
+		return eps
+	}
+	return 1e-8
+}
+
+// ListResponse is the body of GET /v1/graphs.
+type ListResponse struct {
+	Instances  []InstanceInfo `json:"instances"`
+	TotalBytes int64          `json:"total_bytes"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	list := s.cache.list()
+	if list == nil {
+		list = []InstanceInfo{}
+	}
+	writeJSON(w, http.StatusOK, ListResponse{Instances: list, TotalBytes: s.cache.totalBytes()})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.cache.evict(id) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no instance %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+// SolveRequest is the body of POST /v1/graphs/{id}/solve: one RHS in B, or
+// a multi-RHS batch in Batch (exactly one of the two). Seed, when present,
+// pins the engine seed for the request (all RHS of a batch); otherwise
+// seeds derive deterministically from the instance seed and the RHS index.
+type SolveRequest struct {
+	B     []float64   `json:"b,omitempty"`
+	Batch [][]float64 `json:"bs,omitempty"`
+	Eps   float64     `json:"eps,omitempty"`
+	Seed  *int64      `json:"seed,omitempty"`
+}
+
+// SolveResult is one right-hand side's outcome.
+type SolveResult struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+	Rounds     int       `json:"rounds"`
+	Messages   int64     `json:"messages"`
+}
+
+// SolveResponse is the body of a successful solve. Results has one entry
+// per right-hand side (a single B behaves as a batch of one).
+type SolveResponse struct {
+	Results []SolveResult `json:"results"`
+}
+
+func requestOpts(eps float64, seed *int64) []distlap.ReqOption {
+	var opts []distlap.ReqOption
+	if eps > 0 {
+		opts = append(opts, distlap.WithRequestEps(eps))
+	}
+	if seed != nil {
+		opts = append(opts, distlap.WithRequestSeed(*seed))
+	}
+	return opts
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var req SolveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (len(req.B) == 0) == (len(req.Batch) == 0) {
+		writeError(w, http.StatusBadRequest, "provide exactly one of b or bs")
+		return
+	}
+	bs := req.Batch
+	if len(bs) == 0 {
+		bs = [][]float64{req.B}
+	}
+	results, err := inst.SolveBatch(r.Context(), bs, requestOpts(req.Eps, req.Seed)...)
+	if err != nil {
+		writeSolveError(w, r, err)
+		return
+	}
+	resp := SolveResponse{Results: make([]SolveResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = SolveResult{
+			X:          res.X,
+			Iterations: res.Iterations,
+			Residual:   res.Residual,
+			Rounds:     res.Rounds,
+			Messages:   res.Metrics.Congest.Messages,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FlowRequest is the body of POST /v1/graphs/{id}/flow.
+type FlowRequest struct {
+	S    int     `json:"s"`
+	T    int     `json:"t"`
+	Eps  float64 `json:"eps,omitempty"`
+	Seed *int64  `json:"seed,omitempty"`
+}
+
+// FlowResponse reports a unit s-t electrical flow.
+type FlowResponse struct {
+	Resistance float64 `json:"resistance"`
+	Iterations int     `json:"iterations"`
+	Rounds     int     `json:"rounds"`
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var req FlowRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	fl, err := inst.Flow(r.Context(), req.S, req.T, requestOpts(req.Eps, req.Seed)...)
+	if err != nil {
+		writeSolveError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlowResponse{
+		Resistance: fl.Resistance,
+		Iterations: fl.Iterations,
+		Rounds:     fl.Rounds,
+	})
+}
+
+// MSTRequest is the body of POST /v1/graphs/{id}/mst.
+type MSTRequest struct {
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// MSTResponse reports a distributed minimum-spanning-tree run.
+type MSTResponse struct {
+	Weight int64 `json:"weight"`
+	Edges  []int `json:"edges"`
+	Phases int   `json:"phases"`
+	Rounds int   `json:"rounds"`
+}
+
+func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.instance(w, r)
+	if !ok {
+		return
+	}
+	var req MSTRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := inst.MST(r.Context(), requestOpts(0, req.Seed)...)
+	if err != nil {
+		writeSolveError(w, r, err)
+		return
+	}
+	edges := res.Edges
+	if edges == nil {
+		edges = []int{}
+	}
+	writeJSON(w, http.StatusOK, MSTResponse{
+		Weight: res.Weight,
+		Edges:  edges,
+		Phases: res.Phases,
+		Rounds: res.Rounds,
+	})
+}
+
+// instance resolves the {id} path value against the cache, writing the 404
+// itself when absent.
+func (s *Server) instance(w http.ResponseWriter, r *http.Request) (*distlap.Instance, bool) {
+	id := r.PathValue("id")
+	inst, ok := s.cache.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no instance %q", id))
+		return nil, false
+	}
+	return inst, true
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeSolveError maps engine errors to HTTP statuses: a cancelled request
+// context becomes 499-style 400 territory — we use 499's closest standard
+// cousin, 408 Request Timeout — and everything else is a 400 (all engine
+// failures are input-shaped: bad RHS, bad terminals, disconnected graphs).
+func writeSolveError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		writeError(w, http.StatusRequestTimeout, r.Context().Err().Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// writeJSON emits one deterministic JSON body: encoding/json marshals
+// struct fields in declaration order and formats floats canonically, so
+// identical payloads are byte-identical across processes.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		// The client went away mid-write; nothing sensible to do.
+		return
+	}
+}

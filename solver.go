@@ -58,9 +58,22 @@ func NopTrace() Collector { return simtrace.Nop{} }
 //	res, err := s.Solve(g, b)
 //
 // A Solver is a value object: methods do not mutate it, and the same Solver
-// may be reused across graphs. It is not safe for concurrent use when a
-// trace collector is attached (collectors are single-threaded by design —
-// the simulator itself is sequential).
+// may be reused across graphs.
+//
+// Concurrency contract. The one-shot Solver methods (Solve, Flow, ...) each
+// run a private sequential simulation; concurrent calls on one Solver are
+// safe only when no trace collector is attached, because a collector is a
+// single-writer object shared by every call that Solver makes. For
+// concurrent serving, Prepare an Instance instead: a prepared Instance is
+// immutable and safe for concurrent use — requests share only read-only
+// state, and each request attaches its own collector via WithRequestTrace.
+//
+// Amortization. Every one-shot method rebuilds the full per-graph setup
+// (aggregation trees, cluster covers, preconditioner state) on each call.
+// When the same graph is solved more than once — multiple right-hand sides,
+// repeated flow queries, a serving daemon — call Prepare once and issue
+// requests against the returned Instance; setup is then charged exactly
+// once, under Prepare.
 type Solver struct {
 	mode  Mode
 	eps   float64
