@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact daemon-smoke
+.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact daemon-smoke chaos-smoke
 
-check: build vet lint test trace-smoke daemon-smoke
+check: build vet lint test trace-smoke daemon-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,20 @@ trace-smoke:
 	$(GO) run ./cmd/simtrace $(CURDIR)/.trace-smoke.jsonl >/dev/null
 	rm -f $(CURDIR)/.trace-smoke.jsonl
 	@echo trace-smoke: accounting identity holds
+
+# Chaos smoke test: the fault-injection tier C1–C2 (quick sweeps) must be
+# byte-identical across a repeat run and across worker-pool widths — the
+# determinism contract of internal/faultinject (DESIGN.md §9). Any drift
+# in fault decisions, retransmission scheduling or the recovery ladder
+# shows up as a cmp failure here.
+chaos-smoke:
+	$(GO) run ./cmd/experiments -chaos -quick -parallel 4 > $(CURDIR)/.chaos-a.txt 2>/dev/null
+	$(GO) run ./cmd/experiments -chaos -quick -parallel 4 > $(CURDIR)/.chaos-b.txt 2>/dev/null
+	$(GO) run ./cmd/experiments -chaos -quick -parallel 1 > $(CURDIR)/.chaos-c.txt 2>/dev/null
+	cmp $(CURDIR)/.chaos-a.txt $(CURDIR)/.chaos-b.txt
+	cmp $(CURDIR)/.chaos-a.txt $(CURDIR)/.chaos-c.txt
+	rm -f $(CURDIR)/.chaos-a.txt $(CURDIR)/.chaos-b.txt $(CURDIR)/.chaos-c.txt
+	@echo chaos-smoke: faulty runs are byte-identical across repeats and widths
 
 # Daemon smoke test: distlapd's -selftest drives the whole request cycle
 # (load → list → solve → multi-RHS batch → flow → mst → evict → 404)

@@ -27,15 +27,24 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"distlap/internal/service"
 )
+
+// shutdownGrace bounds how long a terminating daemon waits for in-flight
+// requests to drain before closing their connections.
+const shutdownGrace = 30 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
@@ -52,8 +61,41 @@ func main() {
 		fmt.Println("distlapd selftest ok")
 		return
 	}
-	log.Printf("distlapd listening on %s (cache budget %d bytes)", *addr, *cacheBytes)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := serve(srv, *addr, *cacheBytes); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the hardened HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests through a bounded graceful Shutdown so a rolling
+// restart never truncates a response mid-solve.
+func serve(srv *service.Server, addr string, cacheBytes int64) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := srv.NewHTTPServer(addr)
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("distlapd listening on %s (cache budget %d bytes)", addr, cacheBytes)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("distlapd: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("distlapd: shutdown signal received, draining (up to %s)", shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("distlapd: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("distlapd: %w", err)
+	}
+	log.Printf("distlapd: drained, exiting")
+	return nil
 }
 
 // runSelftest drives the whole request cycle against the handler in-process:

@@ -5,6 +5,7 @@
 //
 //	experiments                      # run every experiment, full sweeps
 //	experiments -run E5,E9b          # run selected experiments
+//	experiments -chaos               # run the fault-injection tier C1–C2 instead
 //	experiments -quick               # reduced sweeps (what the benchmarks use)
 //	experiments -parallel 8          # worker-pool width (default GOMAXPROCS)
 //	experiments -trace trace.jsonl   # stream the instrumentation to a file
@@ -43,6 +44,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	runList := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	quick := fs.Bool("quick", false, "reduced parameter sweeps")
+	chaos := fs.Bool("chaos", false, "run the fault-injection tier C1-C2 instead of the paper tables")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	parallel := fs.Int("parallel", 0, "sweep-point worker-pool width (0 = GOMAXPROCS); output is identical at any width")
 	traceOut := fs.String("trace", "", "write a JSONL instrumentation trace to this file")
@@ -54,7 +56,11 @@ func run(args []string) error {
 		return fmt.Errorf("-series requires -trace")
 	}
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		ids := experiments.IDs()
+		if *chaos {
+			ids = experiments.ChaosIDs()
+		}
+		fmt.Println(strings.Join(ids, "\n"))
 		return nil
 	}
 	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
@@ -74,6 +80,9 @@ func run(args []string) error {
 		cfg.Trace = jsonl
 	}
 	ids := experiments.IDs()
+	if *chaos {
+		ids = experiments.ChaosIDs()
+	}
 	if *runList != "" {
 		ids = strings.Split(*runList, ",")
 		for i := range ids {

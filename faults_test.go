@@ -1,0 +1,75 @@
+package distlap_test
+
+// Facade tests for fault-injected requests: FaultSpec validation, the
+// reliable fast path staying untouched, and a faulty request surfacing the
+// recovery metrics deterministically.
+
+import (
+	"context"
+	"testing"
+
+	"distlap"
+)
+
+func TestNewFaultPlanValidates(t *testing.T) {
+	if _, err := distlap.NewFaultPlan(distlap.FaultSpec{DropProb: 1.5}); err == nil {
+		t.Fatalf("DropProb=1.5 accepted")
+	}
+	if _, err := distlap.NewFaultPlan(distlap.FaultSpec{DropProb: 0.6, DupProb: 0.6}); err == nil {
+		t.Fatalf("fate probabilities summing past 1 accepted")
+	}
+	p, err := distlap.NewFaultPlan(distlap.FaultSpec{})
+	if err != nil || p != nil {
+		t.Fatalf("zero spec: plan=%v err=%v, want nil/nil (reliable path)", p, err)
+	}
+}
+
+func TestNilFaultPlanIsReliableFastPath(t *testing.T) {
+	g, b := parityGraph()
+	inst, err := distlap.NewSolver(distlap.WithSeed(3)).Prepare(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := inst.Solve(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilPlan *distlap.FaultPlan
+	withNil, err := inst.Solve(context.Background(), b, distlap.WithRequestFaults(nilPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "nil fault plan", plain, withNil)
+	if plain.Metrics.Attempts != 0 || plain.Metrics.Degraded {
+		t.Fatalf("reliable solve carries recovery metrics: %+v", plain.Metrics)
+	}
+}
+
+func TestFaultyRequestRecoversDeterministically(t *testing.T) {
+	g, b := parityGraph()
+	inst, err := distlap.NewSolver(distlap.WithSeed(3)).Prepare(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := distlap.NewFaultPlan(distlap.FaultSpec{Seed: 11, DropProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *distlap.Result {
+		res, err := inst.Solve(context.Background(), b, distlap.WithRequestFaults(plan))
+		if err != nil {
+			t.Fatalf("faulty solve: %v", err)
+		}
+		return res
+	}
+	a, c := run(), run()
+	sameResult(t, "faulty request", a, c)
+	if a.Metrics.Attempts < 1 || a.Metrics.FaultsObserved == 0 {
+		t.Fatalf("faulty solve reported no recovery activity: %+v", a.Metrics)
+	}
+	if a.Metrics.Attempts != c.Metrics.Attempts ||
+		a.Metrics.FaultsObserved != c.Metrics.FaultsObserved ||
+		a.Metrics.Degraded != c.Metrics.Degraded {
+		t.Fatalf("recovery metrics diverged: %+v vs %+v", a.Metrics, c.Metrics)
+	}
+}

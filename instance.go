@@ -7,6 +7,7 @@ import (
 	"distlap/internal/apps"
 	"distlap/internal/congest"
 	"distlap/internal/core"
+	"distlap/internal/faultinject"
 	"distlap/internal/partwise"
 	"distlap/internal/seedderive"
 	"distlap/internal/simtrace"
@@ -75,6 +76,8 @@ type reqCfg struct {
 	seed    int64
 	hasSeed bool
 	trace   simtrace.Collector
+	faults  *faultinject.Plan
+	retries int
 }
 
 // WithRequestTrace attaches a trace collector to this request only.
@@ -112,7 +115,10 @@ func (in *Instance) request(phase string, idx int64, opts []ReqOption) reqCfg {
 }
 
 func (in *Instance) coreRequest(ctx context.Context, rc reqCfg) core.Request {
-	return core.Request{Tol: rc.eps, Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err}
+	return core.Request{
+		Tol: rc.eps, Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err,
+		Faults: rc.faults, Retries: rc.retries,
+	}
 }
 
 // Graph returns the instance's graph (shared, read-only — do not mutate a
@@ -207,7 +213,7 @@ func (in *Instance) MST(ctx context.Context, opts ...ReqOption) (res *MSTResult,
 		return nil, err
 	}
 	rc := in.request("instance/mst", 0, opts)
-	nw := in.inner.Network(core.Request{Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err})
+	nw := in.inner.Network(core.Request{Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err, Faults: rc.faults})
 	return apps.MST(nw, partwise.NewShortcutSolver())
 }
 
@@ -223,7 +229,7 @@ func (in *Instance) AggregateParts(ctx context.Context, inst *PartwiseInstance, 
 		return nil, err
 	}
 	rc := in.request("instance/aggregate", 0, opts)
-	nw := in.inner.Network(core.Request{Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err})
+	nw := in.inner.Network(core.Request{Seed: rc.seed, Trace: rc.trace, Cancel: ctx.Err, Faults: rc.faults})
 	out, err := partwise.NewLayeredSolver(rc.seed).Solve(nw, inst, spec)
 	if err != nil {
 		return nil, err

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"distlap/internal/faultinject"
 	"distlap/internal/graph"
 	"distlap/internal/simtrace"
 )
@@ -84,6 +85,14 @@ type Options struct {
 	// either completes with the exact metrics the seed dictates or returns
 	// the cancellation error with its partial state discarded.
 	Cancel func() error
+
+	// Faults, when non-nil, injects deterministic message- and node-level
+	// faults at the engine's round barriers: drops, duplications, delays,
+	// crash-stop nodes and flaky links, per internal/faultinject. Every
+	// decision is a pure function of (plan seed, round, edge/node), so a
+	// faulty run is exactly as replayable as a reliable one. nil keeps the
+	// reliable fast path with zero overhead (DESIGN.md §9).
+	Faults *faultinject.Plan
 }
 
 // Network is a CONGEST communication network over a fixed graph.
@@ -96,6 +105,12 @@ type Network struct {
 	load    []int64 // per directed edge: total words carried
 	trace   simtrace.Collector
 	engine  string // simtrace engine label for this network's charges
+
+	// Fault-injection state (all zero/nil on reliable networks).
+	faults      *faultinject.Plan
+	fstats      FaultStats
+	stash       []stashedDelivery // Exchange messages in delayed flight
+	crashedSeen map[graph.NodeID]bool
 }
 
 // ErrNoTrees is returned by tree primitives invoked with no work.
@@ -156,6 +171,7 @@ func NewNetwork(g *graph.Graph, opts Options) *Network {
 		load:   make([]int64, 2*g.M()),
 		trace:  simtrace.OrNop(opts.Trace),
 		engine: engine,
+		faults: opts.Faults,
 	}
 }
 
@@ -220,21 +236,33 @@ func (nw *Network) chargeEdge(de int) {
 	nw.trace.NodeWords(nw.engine, from, to, 1)
 }
 
+// delivery is one word arriving at its destination at the end of an
+// Exchange round.
+type delivery struct {
+	to   graph.NodeID
+	half graph.Half // the receiving side's half-edge
+	w    Word
+}
+
 // Exchange executes one synchronous round in which every node may send one
 // word along each incident half-edge. send is queried once per (node,
 // half-edge); returning ok=false sends nothing on that half-edge. recv is
 // then invoked for every delivered word at its destination. Costs exactly
 // one round.
+//
+// Under a fault plan (Options.Faults) individual sends may be dropped,
+// duplicated or delayed and crash-stopped nodes fall silent; see
+// exchangeFaulty. Without one this is the reliable fast path, bit-for-bit
+// the pre-fault-injection engine.
 func (nw *Network) Exchange(
 	send func(v graph.NodeID, h graph.Half) (Word, bool),
 	recv func(v graph.NodeID, h graph.Half, w Word),
 ) {
-	nw.checkCancel()
-	type delivery struct {
-		to   graph.NodeID
-		half graph.Half // the receiving side's half-edge
-		w    Word
+	if nw.faults != nil {
+		nw.exchangeFaulty(send, recv)
+		return
 	}
+	nw.checkCancel()
 	var deliveries []delivery
 	for v := 0; v < nw.g.N(); v++ {
 		for _, h := range nw.g.Neighbors(v) {

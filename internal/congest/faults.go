@@ -1,0 +1,246 @@
+package congest
+
+import (
+	"distlap/internal/faultinject"
+	"distlap/internal/graph"
+)
+
+// This file is the CONGEST engine's half of the fault-injection contract
+// (DESIGN.md §9): when Options.Faults carries a plan, every message the
+// engine moves — Exchange words and tree-scheduler sends alike — consults
+// the plan at its round barrier and may be dropped, duplicated or delayed,
+// and crash-stopped nodes fall silent. Fault decisions are pure functions
+// of (plan seed, global round, directed edge / node), so the perturbed
+// execution remains a pure function of (graph, Options.Seed, plan) and is
+// byte-identical across repeats and -parallel widths. With a nil plan none
+// of this code runs: Exchange and treeSched.step keep their exact
+// pre-fault fast paths.
+
+// FaultStats is the per-engine fault tally, shared with the NCC engine via
+// internal/faultinject (see faultinject.Stats for the field semantics).
+type FaultStats = faultinject.Stats
+
+// FaultStats returns the faults injected so far (zero on reliable
+// networks).
+func (nw *Network) FaultStats() FaultStats { return nw.fstats }
+
+// FaultPlan returns the network's fault plan (nil when reliable).
+func (nw *Network) FaultPlan() *faultinject.Plan { return nw.faults }
+
+// stashedDelivery is an Exchange message in delayed flight: it matures at
+// the first Exchange whose global round reaches due, arriving stale at
+// whatever handler that round runs (exactly the hazard delayed packets
+// pose to real synchronous algorithms).
+type stashedDelivery struct {
+	due int // global round at which the delivery matures
+	d   delivery
+}
+
+// noteFault records one injected fault event of the given kind in the
+// trace: a running counter ("fault.<kind>s") for aggregate reporting, and
+// a streamed gauge sample ("fault.<kind>") whose value identifies the
+// edge or node hit and whose rounds field pins the event to the engine
+// round it happened in — the hook cmd/simtrace's timeline markers render.
+func (nw *Network) noteFault(kind string, seq int64, val, round int) {
+	nw.trace.Counter("fault."+kind+"s", 1)
+	nw.trace.Gauge("fault."+kind, int(seq), float64(val), round)
+}
+
+// noteCrash records a crash-stopped node the first time it is observed
+// refusing to act.
+func (nw *Network) noteCrash(v graph.NodeID, round int) {
+	if nw.crashedSeen[v] {
+		return
+	}
+	if nw.crashedSeen == nil {
+		nw.crashedSeen = make(map[graph.NodeID]bool)
+	}
+	nw.crashedSeen[v] = true
+	nw.fstats.Crashes++
+	nw.noteFault("crash", int64(nw.fstats.Crashes), v, round)
+}
+
+// exchangeRetryCap bounds the retransmission rounds one faulty Exchange may
+// consume. Links are fair-lossy: a fresh variate is drawn per (round, edge),
+// so any drop probability below one clears the backlog in a handful of
+// rounds (P[a word needs > k rounds] = p^k). Only a pathological plan
+// (DropProb == 1, or a flaky link at FlakyDropProb == 1) reaches the cap;
+// the survivors are then abandoned as permanent drops — which corrupts the
+// exchange and is caught downstream by the solver's residual verification.
+const exchangeRetryCap = 64
+
+// exchangeFaulty is Exchange under a fault plan, modeling a reliable
+// transport over fair-lossy links: a dropped word is charged (the bits
+// crossed part of the link) and retransmitted in an extra round, so drops
+// cost rounds and bandwidth, not correctness. Duplication, delay and
+// crashes remain adversarial: a duplicated word is charged and delivered
+// twice, a delayed word is charged at send and arrives stale at a later
+// Exchange's round barrier, and a crashed node falls permanently silent
+// (its peers' words to it are charged and swallowed; it sends nothing and
+// is never charged).
+func (nw *Network) exchangeFaulty(
+	send func(v graph.NodeID, h graph.Half) (Word, bool),
+	recv func(v graph.NodeID, h graph.Half, w Word),
+) {
+	nw.checkCancel()
+	round := nw.metrics.Rounds + 1
+	// Collect the round's transmissions. A transmission remembers its
+	// directed edge so retransmission attempts charge the same link.
+	type transmission struct {
+		de int
+		d  delivery
+	}
+	var pending []transmission
+	for v := 0; v < nw.g.N(); v++ {
+		if nw.faults.Crashed(v, round) {
+			nw.noteCrash(v, round)
+			continue // crash-stop: the node computes and sends nothing
+		}
+		for _, h := range nw.g.Neighbors(v) {
+			w, ok := send(v, h)
+			if !ok {
+				continue
+			}
+			pending = append(pending, transmission{
+				de: nw.dirEdge(h.Edge, v),
+				d:  delivery{to: h.To, half: graph.Half{To: v, Edge: h.Edge}, w: w},
+			})
+		}
+	}
+	for tries := 0; ; tries++ {
+		round = nw.metrics.Rounds + 1
+		var deliveries []delivery
+		kept := pending[:0]
+		for _, tx := range pending {
+			if nw.faults.Crashed(tx.d.to, round) {
+				nw.chargeEdge(tx.de)
+				nw.noteCrash(tx.d.to, round)
+				nw.fstats.CrashDrops++
+				nw.noteFault("crash-drop", nw.fstats.CrashDrops, tx.de, round)
+				continue
+			}
+			vd := nw.faults.Link(round, tx.de)
+			switch vd.Fate {
+			case faultinject.FateDrop:
+				// Charged, lost, retried next round (reliable transport).
+				nw.chargeEdge(tx.de)
+				nw.fstats.Drops++
+				nw.noteFault("drop", nw.fstats.Drops, tx.de, round)
+				kept = append(kept, tx)
+			case faultinject.FateDup:
+				nw.chargeEdge(tx.de)
+				nw.chargeEdge(tx.de)
+				nw.fstats.Dups++
+				nw.noteFault("dup", nw.fstats.Dups, tx.de, round)
+				deliveries = append(deliveries, tx.d, tx.d)
+			case faultinject.FateDelay:
+				nw.chargeEdge(tx.de)
+				nw.fstats.Delays++
+				nw.noteFault("delay", nw.fstats.Delays, tx.de, round)
+				nw.stash = append(nw.stash, stashedDelivery{due: round + vd.Delay, d: tx.d})
+			default:
+				nw.chargeEdge(tx.de)
+				deliveries = append(deliveries, tx.d)
+			}
+		}
+		pending = kept
+		nw.metrics.Rounds++
+		nw.trace.Rounds(nw.engine, 1)
+		// Matured delayed messages arrive first (they are older), stale, at
+		// this round's handler; a receiver that crashed while they were in
+		// flight swallows them.
+		if len(nw.stash) > 0 {
+			keptStash := nw.stash[:0]
+			for _, sd := range nw.stash {
+				if sd.due > round {
+					keptStash = append(keptStash, sd)
+					continue
+				}
+				if nw.faults.Crashed(sd.d.to, round) {
+					nw.fstats.CrashDrops++
+					continue
+				}
+				recv(sd.d.to, sd.d.half, sd.d.w)
+			}
+			nw.stash = keptStash
+		}
+		for _, d := range deliveries {
+			recv(d.to, d.half, d.w)
+		}
+		if len(pending) == 0 {
+			return
+		}
+		if tries >= exchangeRetryCap {
+			// Pathologically lossy links: abandon the survivors as permanent
+			// drops rather than spin. The exchange is now corrupted, which
+			// the solver's local residual verification detects.
+			nw.fstats.Drops += int64(len(pending))
+			return
+		}
+	}
+}
+
+// faultRoundCap bounds a faulty tree-scheduler run: delays and drops can
+// starve completeness, and the scheduler must abandon — triggering the
+// primitives' completeness errors — rather than spin. The bound is far
+// above any legitimate schedule (which delivers ≥ 1 send per active round).
+func (s *treeSched) faultRoundCap() int { return 10_000 + 16*s.pushes }
+
+// stepEdgeFaulty applies fault fates to one directed edge's queue for one
+// scheduler round: at most one send is acted on (the link carries one word
+// per round), and a delayed send stalls the link without charge. Returns
+// the updated queue and delivered list.
+func (s *treeSched) stepEdgeFaulty(de int, q, delivered []pendingSend) ([]pendingSend, []pendingSend) {
+	nw := s.nw
+	round := nw.metrics.Rounds + 1 // global round in progress
+	for i := range q {
+		if q[i].eligible > s.round {
+			continue
+		}
+		ps := q[i]
+		if nw.faults.Crashed(ps.from, round) {
+			// The sender is dead; every send queued on its edge (all from
+			// the same node, by the directed-edge encoding) dies unsent.
+			nw.noteCrash(ps.from, round)
+			nw.fstats.CrashDrops += int64(len(q))
+			return q[:0], delivered
+		}
+		if nw.faults.Crashed(ps.to, round) {
+			nw.chargeEdge(de)
+			nw.noteCrash(ps.to, round)
+			nw.fstats.CrashDrops++
+			nw.noteFault("crash-drop", nw.fstats.CrashDrops, de, round)
+			return append(q[:i], q[i+1:]...), delivered
+		}
+		vd := nw.faults.Link(round, de)
+		switch vd.Fate {
+		case faultinject.FateDrop:
+			// Charged and lost; the send keeps its FIFO slot and the link
+			// retries it next round (reliable transport over a lossy link).
+			// Only a plan that drops forever starves the schedule, and the
+			// round cap converts that into a completeness error.
+			nw.chargeEdge(de)
+			nw.fstats.Drops++
+			nw.noteFault("drop", nw.fstats.Drops, de, round)
+			return q, delivered
+		case faultinject.FateDup:
+			nw.chargeEdge(de)
+			nw.chargeEdge(de)
+			nw.fstats.Dups++
+			nw.noteFault("dup", nw.fstats.Dups, de, round)
+			return append(q[:i], q[i+1:]...), append(delivered, ps, ps)
+		case faultinject.FateDelay:
+			// The link stalls: the send stays queued (FIFO position kept)
+			// and becomes eligible again after the delay; nothing crosses
+			// this round.
+			q[i].eligible = s.round + vd.Delay
+			nw.fstats.Delays++
+			nw.noteFault("delay", nw.fstats.Delays, de, round)
+			return q, delivered
+		default:
+			nw.chargeEdge(de)
+			return append(q[:i], q[i+1:]...), append(delivered, ps)
+		}
+	}
+	return q, delivered
+}

@@ -1,0 +1,258 @@
+package congest
+
+import (
+	"strings"
+	"testing"
+
+	"distlap/internal/faultinject"
+	"distlap/internal/graph"
+)
+
+func faultyNet(g *graph.Graph, seed int64, spec faultinject.Spec) *Network {
+	spec.Seed = seed
+	return NewNetwork(g, Options{Seed: seed, Faults: faultinject.MustNew(spec)})
+}
+
+// runExchanges drives k identical all-send Exchange rounds and returns the
+// per-node received sums plus the final metrics and fault stats.
+func runExchanges(nw *Network, k int) ([]Word, Metrics, FaultStats) {
+	got := make([]Word, nw.Graph().N())
+	for r := 0; r < k; r++ {
+		nw.Exchange(
+			func(v graph.NodeID, h graph.Half) (Word, bool) { return Word(v + 1), true },
+			func(v graph.NodeID, h graph.Half, w Word) { got[v] += w },
+		)
+	}
+	return got, nw.Metrics(), nw.FaultStats()
+}
+
+func TestFaultyExchangeDeterministic(t *testing.T) {
+	spec := faultinject.Spec{
+		DropProb: 0.1, DupProb: 0.05, DelayProb: 0.1, MaxDelay: 2,
+		CrashProb: 0.1, CrashWindow: 4, FlakyLinkProb: 0.2,
+	}
+	g := graph.Grid(6, 6)
+	gotA, mA, fA := runExchanges(faultyNet(g, 7, spec), 12)
+	gotB, mB, fB := runExchanges(faultyNet(g, 7, spec), 12)
+	if mA != mB {
+		t.Fatalf("metrics diverged across identical faulty runs: %+v vs %+v", mA, mB)
+	}
+	if fA != fB {
+		t.Fatalf("fault stats diverged: %+v vs %+v", fA, fB)
+	}
+	for v := range gotA {
+		if gotA[v] != gotB[v] {
+			t.Fatalf("node %d received %d vs %d across identical faulty runs", v, gotA[v], gotB[v])
+		}
+	}
+	if fA.Total() == 0 {
+		t.Fatalf("fault plan injected nothing over 12 rounds on a 6x6 grid: %+v", fA)
+	}
+}
+
+func TestDropRetransmitsUntilDelivered(t *testing.T) {
+	// Reliable transport over fair-lossy links: every word eventually
+	// arrives exactly once, and drops cost rounds and bandwidth instead of
+	// correctness.
+	g := graph.Grid(4, 4)
+	want, rm, _ := runExchanges(NewNetwork(g, Options{Seed: 3}), 3)
+	nw := faultyNet(g, 3, faultinject.Spec{DropProb: 0.4})
+	got, m, f := runExchanges(nw, 3)
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("node %d received %d, want the reliable sum %d", v, got[v], want[v])
+		}
+	}
+	if f.Drops == 0 {
+		t.Fatalf("no drops injected at DropProb=0.4")
+	}
+	if m.Rounds <= rm.Rounds {
+		t.Fatalf("retransmission cost no rounds: faulty=%d reliable=%d", m.Rounds, rm.Rounds)
+	}
+	// Every transmission attempt was charged: lost words spent bandwidth.
+	if m.Messages != rm.Messages+f.Drops {
+		t.Fatalf("messages=%d, want %d reliable + %d retransmissions", m.Messages, rm.Messages, f.Drops)
+	}
+}
+
+func TestAllDropExchangeTerminates(t *testing.T) {
+	// DropProb=1 defeats retransmission; the exchange must abandon at its
+	// retry cap — delivering nothing, charging the attempts — not spin.
+	g := graph.Path(4)
+	nw := faultyNet(g, 3, faultinject.Spec{DropProb: 1})
+	got, m, f := runExchanges(nw, 1)
+	for v, w := range got {
+		if w != 0 {
+			t.Fatalf("node %d received %d despite DropProb=1", v, w)
+		}
+	}
+	if m.Rounds != exchangeRetryCap+1 {
+		t.Fatalf("rounds=%d, want the retry cap %d", m.Rounds, exchangeRetryCap+1)
+	}
+	if f.Drops == 0 || m.Messages == 0 {
+		t.Fatalf("lost transmissions not charged: drops=%d messages=%d", f.Drops, m.Messages)
+	}
+}
+
+func TestDelayedDeliveryArrivesStale(t *testing.T) {
+	g := graph.Path(2) // one edge
+	nw := faultyNet(g, 5, faultinject.Spec{DelayProb: 1, MaxDelay: 1})
+	var rounds []int // exchange index at which each word arrived
+	for r := 0; r < 4; r++ {
+		rr := r
+		nw.Exchange(
+			func(v graph.NodeID, h graph.Half) (Word, bool) { return Word(v), rr == 0 },
+			func(v graph.NodeID, h graph.Half, w Word) { rounds = append(rounds, rr) },
+		)
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("delayed words delivered %d times, want 2 (one per direction)", len(rounds))
+	}
+	for _, r := range rounds {
+		if r == 0 {
+			t.Fatalf("a DelayProb=1 word arrived in its own round")
+		}
+	}
+	if nw.FaultStats().Delays != 2 {
+		t.Fatalf("delays=%d, want 2", nw.FaultStats().Delays)
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	g := graph.Path(2)
+	nw := faultyNet(g, 9, faultinject.Spec{DupProb: 1})
+	got, m, f := runExchanges(nw, 1)
+	if got[0] != 2*2 || got[1] != 2*1 {
+		t.Fatalf("received %v, want doubled words [4 2]", got)
+	}
+	if f.Dups != 2 {
+		t.Fatalf("dups=%d, want 2", f.Dups)
+	}
+	if m.Messages != 4 { // each duplicated word charged twice
+		t.Fatalf("messages=%d, want 4", m.Messages)
+	}
+}
+
+func TestCrashedNodesFallSilent(t *testing.T) {
+	g := graph.Star(6)
+	spec := faultinject.Spec{CrashProb: 1, CrashWindow: 1} // everyone dead from round 1
+	nw := faultyNet(g, 13, spec)
+	got, m, f := runExchanges(nw, 3)
+	for v, w := range got {
+		if w != 0 {
+			t.Fatalf("node %d received %d from an all-crashed network", v, w)
+		}
+	}
+	if m.Messages != 0 {
+		t.Fatalf("messages=%d: crashed senders must not be charged", m.Messages)
+	}
+	if m.Rounds != 3 {
+		t.Fatalf("rounds=%d, want 3 (rounds still elapse)", m.Rounds)
+	}
+	if f.Crashes != g.N() {
+		t.Fatalf("crashes=%d, want %d", f.Crashes, g.N())
+	}
+}
+
+func TestConvergecastDetectsFaults(t *testing.T) {
+	// Every message on every link dropped: no convergecast can complete,
+	// and the primitive must report that rather than hang or lie.
+	g := graph.Grid(4, 4)
+	nw := faultyNet(g, 21, faultinject.Spec{FlakyLinkProb: 1, FlakyDropProb: 1})
+	tree := graph.BFSTree(g, 0)
+	_, err := nw.ConvergecastMany([]*graph.Tree{tree},
+		func(t int, v graph.NodeID) Word { return 1 }, AggSum)
+	if err == nil {
+		t.Fatalf("convergecast over an all-dropping network reported success")
+	}
+	if !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestConvergecastSurvivesDelays(t *testing.T) {
+	// Pure delays lose nothing: the convergecast completes with the exact
+	// reliable result, just over more rounds.
+	g := graph.Grid(5, 5)
+	tree := graph.BFSTree(g, 0)
+	reliable := NewNetwork(g, Options{Seed: 2})
+	want, err := reliable.ConvergecastMany([]*graph.Tree{tree},
+		func(t int, v graph.NodeID) Word { return Word(v) }, AggSum)
+	if err != nil {
+		t.Fatalf("reliable convergecast: %v", err)
+	}
+	nw := faultyNet(g, 2, faultinject.Spec{DelayProb: 0.4, MaxDelay: 3})
+	got, err := nw.ConvergecastMany([]*graph.Tree{tree},
+		func(t int, v graph.NodeID) Word { return Word(v) }, AggSum)
+	if err != nil {
+		t.Fatalf("delayed convergecast: %v", err)
+	}
+	if got[0] != want[0] {
+		t.Fatalf("delayed convergecast aggregate %d, want %d", got[0], want[0])
+	}
+	if nw.Rounds() <= reliable.Rounds() {
+		t.Fatalf("delays did not cost rounds: faulty=%d reliable=%d", nw.Rounds(), reliable.Rounds())
+	}
+	if nw.FaultStats().Delays == 0 {
+		t.Fatalf("no delays injected at DelayProb=0.4")
+	}
+}
+
+func TestBroadcastSurvivesDrops(t *testing.T) {
+	// Retransmission makes a lossy broadcast complete — slower, never wrong.
+	g := graph.Grid(5, 5)
+	tree := graph.BFSTree(g, 0)
+	reliable := NewNetwork(g, Options{Seed: 4})
+	if err := reliable.BroadcastMany([]*graph.Tree{tree}, []Word{7},
+		func(t int, v graph.NodeID, w Word) {}); err != nil {
+		t.Fatalf("reliable broadcast: %v", err)
+	}
+	nw := faultyNet(g, 4, faultinject.Spec{DropProb: 0.3})
+	seen := make([]Word, g.N())
+	if err := nw.BroadcastMany([]*graph.Tree{tree}, []Word{7},
+		func(t int, v graph.NodeID, w Word) { seen[v] = w }); err != nil {
+		t.Fatalf("broadcast under 30%% drop: %v", err)
+	}
+	for v, w := range seen {
+		if w != 7 {
+			t.Fatalf("node %d got %d, want 7", v, w)
+		}
+	}
+	if nw.Rounds() <= reliable.Rounds() {
+		t.Fatalf("drops did not cost rounds: faulty=%d reliable=%d", nw.Rounds(), reliable.Rounds())
+	}
+}
+
+func TestFaultyTreeSchedTerminates(t *testing.T) {
+	// drop+delay bands sum to 1: nothing ever crosses, so the scheduler
+	// must abandon at its round cap and surface an incomplete broadcast,
+	// never spin.
+	g := graph.Path(8)
+	nw := faultyNet(g, 17, faultinject.Spec{DropProb: 0.9, DelayProb: 0.1, MaxDelay: 5})
+	tree := graph.BFSTree(g, 0)
+	err := nw.BroadcastMany([]*graph.Tree{tree}, []Word{42},
+		func(t int, v graph.NodeID, w Word) {})
+	if err == nil {
+		t.Fatalf("broadcast under 90%% drop reported success")
+	}
+}
+
+func TestNilPlanIsReliable(t *testing.T) {
+	// Options.Faults = nil must reproduce the pre-fault engine bit for bit.
+	g := graph.Grid(4, 5)
+	run := func(opts Options) ([]Word, Metrics) {
+		nw := NewNetwork(g, opts)
+		got, m, _ := runExchanges(nw, 5)
+		return got, m
+	}
+	gotA, mA := run(Options{Seed: 11})
+	gotB, mB := run(Options{Seed: 11, Faults: nil})
+	if mA != mB {
+		t.Fatalf("nil fault plan changed metrics: %+v vs %+v", mA, mB)
+	}
+	for v := range gotA {
+		if gotA[v] != gotB[v] {
+			t.Fatalf("nil fault plan changed deliveries at node %d", v)
+		}
+	}
+}

@@ -55,6 +55,7 @@ type treeSched struct {
 	active []int                 // sorted dirEdges with nonempty queues
 	dirty  bool
 	round  int
+	pushes int // total sends ever queued (sizes the faulty-run round cap)
 }
 
 func newTreeSched(nw *Network) *treeSched {
@@ -68,6 +69,7 @@ func (s *treeSched) push(de int, ps pendingSend) {
 		s.dirty = true
 	}
 	s.queues[de] = append(q, ps)
+	s.pushes++
 }
 
 // step advances one round, delivering at most one eligible send per directed
@@ -76,6 +78,13 @@ func (s *treeSched) push(de int, ps pendingSend) {
 // holds any send.
 func (s *treeSched) step(deliver func(ps pendingSend)) bool {
 	if len(s.active) == 0 {
+		return false
+	}
+	faults := s.nw.faults
+	if faults != nil && s.round >= s.faultRoundCap() {
+		// A fault plan can starve completeness (every remaining send
+		// perpetually delayed); abandon the schedule so the primitives'
+		// completeness checks report the failure instead of spinning.
 		return false
 	}
 	s.nw.checkCancel()
@@ -88,19 +97,20 @@ func (s *treeSched) step(deliver func(ps pendingSend)) bool {
 	newActive := s.active[:0]
 	for _, de := range s.active {
 		q := s.queues[de]
-		// Pop the first eligible send, preserving FIFO order otherwise.
-		popped := false
-		for i := range q {
-			if q[i].eligible <= s.round {
-				ps := q[i]
-				q = append(q[:i], q[i+1:]...)
-				s.nw.chargeEdge(de)
-				delivered = append(delivered, ps)
-				popped = true
-				break
+		if faults != nil {
+			q, delivered = s.stepEdgeFaulty(de, q, delivered)
+		} else {
+			// Pop the first eligible send, preserving FIFO order otherwise.
+			for i := range q {
+				if q[i].eligible <= s.round {
+					ps := q[i]
+					q = append(q[:i], q[i+1:]...)
+					s.nw.chargeEdge(de)
+					delivered = append(delivered, ps)
+					break
+				}
 			}
 		}
-		_ = popped
 		if len(q) == 0 {
 			delete(s.queues, de)
 		} else {

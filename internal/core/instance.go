@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"distlap/internal/congest"
+	"distlap/internal/faultinject"
 	"distlap/internal/graph"
 	"distlap/internal/linalg"
 	"distlap/internal/ncc"
@@ -161,6 +162,19 @@ type Request struct {
 	Cancel func() error
 	// MaxIter caps iterations (0 selects the solver default).
 	MaxIter int
+	// Faults attaches a deterministic fault plan to the request's engines
+	// (nil = reliable execution, the fast path). When set, Solve runs the
+	// self-checking recovery loop of DESIGN.md §9: every attempt's
+	// convergence is verified against a local true-residual computation,
+	// failed attempts are retried under re-derived seeds (seedderive phase
+	// "retry"), and exhausted retries degrade to a coarser tolerance and
+	// then the baseline-fallback solver — surfaced in Metrics.Attempts /
+	// FaultsObserved / Degraded. Setup (PrepareInstance) is always
+	// fault-free: the fault model covers serving, not construction.
+	Faults *faultinject.Plan
+	// Retries bounds full-tolerance recovery re-attempts (0 selects 2).
+	// Meaningful only with Faults set.
+	Retries int
 }
 
 // Graph returns the instance's graph (shared, read-only).
@@ -193,10 +207,13 @@ func (in *Instance) Comm(req Request) Comm {
 		Seed:      req.Seed,
 		Trace:     simtrace.OrNop(req.Trace),
 		Cancel:    req.Cancel,
+		Faults:    req.Faults,
 	})
 	local := newCongestCommWithTree(nw, in.naive, in.tree)
 	if in.hybrid {
-		return &HybridComm{local: local, global: ncc.NewNetworkWith(in.g.N(), nw.Trace())}
+		global := ncc.NewNetworkWith(in.g.N(), nw.Trace())
+		global.SetFaults(req.Faults)
+		return &HybridComm{local: local, global: global}
 	}
 	return local
 }
@@ -210,6 +227,7 @@ func (in *Instance) Network(req Request) *congest.Network {
 		Seed:      req.Seed,
 		Trace:     simtrace.OrNop(req.Trace),
 		Cancel:    req.Cancel,
+		Faults:    req.Faults,
 	})
 }
 
@@ -228,6 +246,11 @@ func (in *Instance) Solve(b []float64, req Request) (res *Result, err error) {
 	tol := req.Tol
 	if tol <= 0 {
 		tol = in.tol
+	}
+	if req.Faults != nil {
+		// Faulty execution runs the self-checking recovery loop
+		// (recover.go): verified attempts, bounded retries, degradation.
+		return in.solveRecovering(b, req, tol)
 	}
 	c := in.Comm(req)
 	if in.cheb {

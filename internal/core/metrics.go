@@ -29,6 +29,20 @@ type Metrics struct {
 	// message, sorted by phase path; nil unless the run was traced with a
 	// collector implementing simtrace.PhaseQuerier.
 	Phases []simtrace.PhaseStat
+
+	// Attempts is the number of solve attempts the self-checking recovery
+	// loop executed (0 for runs without fault injection; 1 means the first
+	// attempt verified). See DESIGN.md §9.
+	Attempts int
+	// FaultsObserved counts the fault events the request's engines injected
+	// across all attempts (drops, duplications, delays, crash losses,
+	// crashed nodes).
+	FaultsObserved int64
+	// Degraded reports that full-tolerance retries exhausted and the
+	// returned result met only a degraded target — a coarser tolerance or
+	// the baseline-fallback solver. The result's Residual field carries the
+	// locally verified true residual either way.
+	Degraded bool
 }
 
 // TotalRounds returns the rounds summed across engines — the comparable

@@ -23,6 +23,16 @@ type Options struct {
 	// hook (congest.Options.Cancel), so a cancelled request stops within
 	// one scheduled round, not one PCG iteration.
 	Cancel func() error
+	// Verify, when non-nil, computes the true relative residual of a
+	// candidate solution with local, zero-communication arithmetic. The
+	// solver calls it whenever its distributed reductions claim
+	// convergence: if the verified residual still exceeds Tol, the claim
+	// was corrupted (fault-injected runs can corrupt the reduction tree)
+	// and iteration continues instead of returning a silently wrong
+	// vector. Reliable runs leave it nil — the distributed residual is
+	// exact there, and charging zero rounds for a global check would
+	// falsify the cost model.
+	Verify func(x []float64) float64
 }
 
 // Result reports a distributed solve.
@@ -205,12 +215,31 @@ func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, er
 		res := math.Sqrt(pair[0]) / bNorm
 		tr.Gauge("pcg.residual", it, res, c.Rounds())
 		if res <= opts.Tol {
-			linalg.CenterMean(x)
-			return &Result{
-				X: x, Iterations: it, Residual: res,
-				Rounds: c.Rounds(), SetupRounds: setupRounds,
-				Metrics: c.CollectMetrics(),
-			}, nil
+			xc := linalg.Copy(x)
+			linalg.CenterMean(xc)
+			if opts.Verify != nil {
+				if vres := opts.Verify(xc); vres > opts.Tol {
+					// The distributed reduction claims convergence but the
+					// locally verified residual disagrees: a fault corrupted
+					// the aggregation. Reject the claim and keep iterating —
+					// never return a silently wrong vector.
+					tr.Counter("pcg.verify-rejects", 1)
+					tr.Gauge("pcg.verified", it, vres, c.Rounds())
+				} else {
+					tr.Gauge("pcg.verified", it, vres, c.Rounds())
+					return &Result{
+						X: xc, Iterations: it, Residual: vres,
+						Rounds: c.Rounds(), SetupRounds: setupRounds,
+						Metrics: c.CollectMetrics(),
+					}, nil
+				}
+			} else {
+				return &Result{
+					X: xc, Iterations: it, Residual: res,
+					Rounds: c.Rounds(), SetupRounds: setupRounds,
+					Metrics: c.CollectMetrics(),
+				}, nil
+			}
 		}
 		rzNew := pair[1]
 		if rzNew <= 0 || math.IsNaN(rzNew) {

@@ -1,0 +1,208 @@
+package experiments
+
+// The chaos tier C1–C2: fault-injected experiments exercising the
+// robustness path of DESIGN.md §9 — the deterministic fault plans of
+// internal/faultinject and the solver's self-checking recovery loop. They
+// live in their own registry, gated behind `cmd/experiments -chaos`, so
+// the E-series tables (and the bench baselines built on experiments.IDs())
+// are untouched by the tier's existence.
+//
+// Determinism obligations are identical to the E-series: every sweep point
+// owns its instance, request seed, fault plan and collector, so tables are
+// byte-identical across repeats and -parallel widths. `make chaos-smoke`
+// pins exactly that.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"distlap/internal/core"
+	"distlap/internal/faultinject"
+	"distlap/internal/graph"
+	"distlap/internal/linalg"
+	"distlap/internal/seedderive"
+	"distlap/internal/simtrace"
+)
+
+// ChaosRegistry maps chaos-tier experiment IDs to runners.
+func ChaosRegistry() map[string]Runner {
+	return map[string]Runner{
+		"C1": C1,
+		"C2": C2,
+	}
+}
+
+// ChaosIDs returns the chaos-tier experiment IDs in canonical order.
+func ChaosIDs() []string {
+	ids := make([]string, 0, len(ChaosRegistry()))
+	for id := range ChaosRegistry() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// chaosOutcome condenses a recovered solve into one table cell.
+func chaosOutcome(res *core.Result, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case res.Metrics.Degraded:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// C1 — fault-rate sweep: solver behavior versus the message drop rate on a
+// fixed grid. The interesting shape: under fair loss with retransmission,
+// rounds grow roughly linearly with the drop rate while the verified
+// residual stays at tolerance, until the rate is high enough that attempts
+// start failing and the recovery ladder reports degradation.
+func C1(cfg Config) (*Table, error) {
+	rates := []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
+	if cfg.Quick {
+		rates = []float64{0, 0.05, 0.20}
+	}
+	t := &Table{
+		ID:     "C1",
+		Title:  "recovered solve vs drop rate (fair-lossy links, DESIGN.md §9)",
+		Header: []string{"drop", "outcome", "attempts", "faults", "iterations", "rounds", "residual"},
+		Notes:  "retransmission turns drops into rounds: residual holds at tolerance while rounds grow",
+	}
+	g := graph.Grid(8, 8)
+	inst, err := core.PrepareInstance(context.Background(), g, core.PrepareConfig{
+		Mode: core.ModeUniversal, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pts []point
+	for i, rate := range rates {
+		i, rate := i, rate
+		pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+			b := linalg.RandomBVector(g.N(), 5)
+			req := core.Request{Tol: 1e-6, Seed: seedderive.Derive(1, "chaos/C1", int64(i)), Trace: tr}
+			if rate > 0 {
+				req.Faults = faultinject.MustNew(faultinject.Spec{Seed: 40 + int64(i), DropProb: rate})
+			}
+			res, err := inst.Solve(b, req)
+			if err != nil {
+				return row(fmt.Sprintf("%.0f%%", rate*100), "error", "-", "-", "-", "-", "-"), nil
+			}
+			return row(
+				fmt.Sprintf("%.0f%%", rate*100),
+				chaosOutcome(res, nil),
+				itoa(res.Metrics.Attempts),
+				itoa(int(res.Metrics.FaultsObserved)),
+				itoa(res.Iterations),
+				itoa(res.Rounds),
+				fmt.Sprintf("%.1e", res.Residual),
+			), nil
+		})
+	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// C2 — fault-mix matrix: the recovery ladder's response to each adversarial
+// fault kind, per communication mode. Drops are recoverable transport
+// noise; duplications and delays corrupt values (caught by the residual
+// check, answered with retries); crashes silence nodes permanently (tree
+// completeness failures, degradation or loud errors). Every cell's outcome
+// is verified-or-loud — "silently wrong" is not a value this column can
+// take.
+func C2(cfg Config) (*Table, error) {
+	type mix struct {
+		name string
+		spec faultinject.Spec
+		tol  float64 // 0 selects 1e-6
+	}
+	mixes := []mix{
+		{name: "drop-5%", spec: faultinject.Spec{DropProb: 0.05}},
+		{name: "dup-5%", spec: faultinject.Spec{DupProb: 0.05}},
+		// Mild staleness at a moderate target: the regime where full-
+		// tolerance attempts fail but the ladder's coarser rung verifies —
+		// the table's "degraded" outcome.
+		{name: "delay-0.5%", spec: faultinject.Spec{DelayProb: 0.005, MaxDelay: 2}, tol: 1e-2},
+		{name: "delay-10%", spec: faultinject.Spec{DelayProb: 0.10, MaxDelay: 3}},
+		{name: "flaky-links", spec: faultinject.Spec{FlakyLinkProb: 0.05, FlakyDropProb: 0.5}},
+		{name: "crash-10%", spec: faultinject.Spec{CrashProb: 0.10, CrashWindow: 64}},
+		{name: "storm", spec: faultinject.Spec{DropProb: 0.10, DupProb: 0.05, DelayProb: 0.10, CrashProb: 0.05}},
+	}
+	modes := []core.Mode{core.ModeUniversal, core.ModeBaseline, core.ModeHybrid}
+	if cfg.Quick {
+		mixes = []mix{mixes[0], mixes[2], mixes[6]}
+		modes = []core.Mode{core.ModeUniversal, core.ModeHybrid}
+	}
+	t := &Table{
+		ID:     "C2",
+		Title:  "recovery ladder vs fault mix × mode (never hangs, never silently wrong)",
+		Header: []string{"mix", "mode", "outcome", "attempts", "faults", "residual"},
+		Notes:  "outcome ∈ {ok, degraded, error}: every returned residual is locally verified",
+	}
+	var pts []point
+	for mi, m := range mixes {
+		for _, mode := range modes {
+			m, mode, mi := m, mode, mi
+			pts = append(pts, func(tr simtrace.Collector) ([][]string, error) {
+				g := graph.Grid(7, 7)
+				inst, err := core.PrepareInstance(context.Background(), g, core.PrepareConfig{
+					Mode: mode, Seed: 2,
+				})
+				if err != nil {
+					return nil, err
+				}
+				spec := m.spec
+				spec.Seed = 90 + int64(mi)
+				tol := m.tol
+				if tol == 0 { //distlint:allow floateq zero is the "default tolerance" sentinel
+					tol = 1e-6
+				}
+				b := linalg.RandomBVector(g.N(), 6)
+				res, err := inst.Solve(b, core.Request{
+					Tol:    tol,
+					Seed:   seedderive.Derive(2, "chaos/C2/"+m.name+"/"+string(mode), 0),
+					Trace:  tr,
+					Faults: faultinject.MustNew(spec),
+				})
+				if err != nil {
+					return row(m.name, string(mode), "error", "-", "-", "-"), nil
+				}
+				return row(
+					m.name, string(mode),
+					chaosOutcome(res, nil),
+					itoa(res.Metrics.Attempts),
+					itoa(int(res.Metrics.FaultsObserved)),
+					fmt.Sprintf("%.1e", res.Residual),
+				), nil
+			})
+		}
+	}
+	rows, err := runPoints(cfg, pts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// lookupRunner resolves an ID across the E-series and chaos registries.
+func lookupRunner(id string) (Runner, bool) {
+	if r, ok := Registry()[id]; ok {
+		return r, true
+	}
+	r, ok := ChaosRegistry()[id]
+	return r, ok
+}
+
+// knownIDs lists every runnable ID (both tiers) for error messages.
+func knownIDs() string {
+	return strings.Join(append(IDs(), ChaosIDs()...), ", ")
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChaosRegistryResolvesViaRunWith(t *testing.T) {
+	if got := ChaosIDs(); !reflect.DeepEqual(got, []string{"C1", "C2"}) {
+		t.Fatalf("ChaosIDs() = %v", got)
+	}
+	for _, id := range ChaosIDs() {
+		if _, ok := lookupRunner(id); !ok {
+			t.Fatalf("RunWith cannot resolve chaos experiment %s", id)
+		}
+	}
+	if _, err := RunWith("C99", Config{Quick: true}); err == nil {
+		t.Fatalf("unknown chaos ID accepted")
+	}
+}
+
+func TestChaosTierDisjointFromPaperTables(t *testing.T) {
+	// The bench baselines iterate experiments.IDs(); the chaos tier must
+	// never leak into them.
+	for _, id := range IDs() {
+		if _, chaotic := ChaosRegistry()[id]; chaotic {
+			t.Fatalf("chaos experiment %s shadows a paper-table ID", id)
+		}
+	}
+}
+
+func TestC1QuickDeterministicAcrossWidths(t *testing.T) {
+	run := func(par int) *Table {
+		tbl, err := RunWith("C1", Config{Quick: true, Parallel: par})
+		if err != nil {
+			t.Fatalf("C1 at parallel=%d: %v", par, err)
+		}
+		return tbl
+	}
+	a, b := run(1), run(4)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("C1 rows diverged across widths:\n%v\nvs\n%v", a.Rows, b.Rows)
+	}
+}

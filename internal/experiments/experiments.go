@@ -150,12 +150,13 @@ func Run(id string, quick bool) (*Table, error) {
 }
 
 // RunWith executes the experiment with the given ID under a config,
-// wrapping it in a trace span named after the ID.
+// wrapping it in a trace span named after the ID. Both tiers resolve here:
+// the E-series paper tables and the chaos tier C1–C2 (chaos.go).
 func RunWith(id string, cfg Config) (*Table, error) {
-	r, ok := Registry()[id]
+	r, ok := lookupRunner(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
-			id, strings.Join(IDs(), ", "))
+			id, knownIDs())
 	}
 	tr := simtrace.OrNop(cfg.Trace)
 	tr.Begin(id)

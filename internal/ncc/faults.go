@@ -1,0 +1,164 @@
+package ncc
+
+import (
+	"errors"
+	"sort"
+
+	"distlap/internal/faultinject"
+	"distlap/internal/graph"
+	"distlap/internal/simtrace"
+)
+
+// This file is the NCC engine's half of the fault-injection contract
+// (DESIGN.md §9). The clique has no edge identity, so flaky links do not
+// apply; per-message fates come from Plan.Clique keyed on (round, sender,
+// receiver), and crash-stop nodes swallow everything they would send or
+// receive. Delays model fabric stalls: a delayed message keeps its FIFO
+// slot and is re-offered in a later round. A faulty schedule can therefore
+// starve, so deliverFaulty runs under an explicit round budget and reports
+// exhaustion as an error — a faulty clique run degrades loudly, it never
+// hangs.
+
+// ErrFaultBudget is returned when fault injection starves the scheduler
+// past its round budget.
+var ErrFaultBudget = errors.New("ncc: fault injection exhausted the round budget")
+
+// noteFault mirrors the congest engine's fault observability: a running
+// counter plus a streamed gauge sample pinned to the NCC round.
+func (nw *Network) noteFault(kind string, seq int64, val, round int) {
+	nw.trace.Counter("fault."+kind+"s", 1)
+	nw.trace.Gauge("fault."+kind, int(seq), float64(val), round)
+}
+
+func (nw *Network) noteCrash(v graph.NodeID, round int) {
+	if nw.crashedSeen[v] {
+		return
+	}
+	if nw.crashedSeen == nil {
+		nw.crashedSeen = make(map[graph.NodeID]bool)
+	}
+	nw.crashedSeen[v] = true
+	nw.fstats.Crashes++
+	nw.noteFault("crash", int64(nw.fstats.Crashes), v, round)
+}
+
+// deliverFaulty is Deliver under a fault plan: the same cap-respecting
+// FIFO schedule, with each offered message consulting the plan. A dropped
+// message consumes its send slot (the bandwidth was spent) and is
+// retransmitted from its FIFO position in a later round; crash-swallowed
+// messages are lost permanently; duplicated messages deliver twice;
+// delayed messages stall in their queue. Messages are validated by the
+// caller (Deliver).
+func (nw *Network) deliverFaulty(msgs []Message, recv func(Message)) (int, error) {
+	queues := make(map[graph.NodeID][]Message)
+	var senders []graph.NodeID
+	for _, m := range msgs {
+		if len(queues[m.From]) == 0 {
+			senders = append(senders, m.From)
+		}
+		queues[m.From] = append(queues[m.From], m)
+	}
+	sort.Ints(senders)
+	nw.trace.Counter("ncc.sends", int64(len(msgs)))
+	remaining := len(msgs)
+	used := 0
+	budget := 64 + 16*len(msgs)
+	for remaining > 0 {
+		if used >= budget {
+			return used, ErrFaultBudget
+		}
+		used++
+		round := nw.rounds + 1 // absolute NCC round in progress
+		recvLoad := make(map[graph.NodeID]int)
+		var delivered []Message
+		acted := 0 // sends resolved this round (delivered, dropped, crashed)
+		stalled := 0
+		for _, s := range senders {
+			q := queues[s]
+			if len(q) == 0 {
+				continue
+			}
+			if nw.faults.Crashed(s, round) {
+				// Sender crash-stopped: its whole backlog dies unsent.
+				nw.noteCrash(s, round)
+				nw.fstats.CrashDrops += int64(len(q))
+				acted += len(q)
+				remaining -= len(q)
+				queues[s] = nil
+				continue
+			}
+			sent := 0
+			kept := q[:0]
+			for _, m := range q {
+				if sent >= nw.cap || recvLoad[m.To] >= nw.cap {
+					kept = append(kept, m)
+					continue
+				}
+				if nw.faults.Crashed(m.To, round) {
+					nw.noteCrash(m.To, round)
+					nw.fstats.CrashDrops++
+					nw.noteFault("crash-drop", nw.fstats.CrashDrops, m.To, round)
+					sent++
+					remaining--
+					acted++
+					continue
+				}
+				switch vd := nw.faults.Clique(round, m.From, m.To); vd.Fate {
+				case faultinject.FateDrop:
+					// Charged slot, lost payload: the message keeps its FIFO
+					// position and is retransmitted next round (reliable
+					// transport over a fair-lossy fabric). A plan that drops
+					// forever runs into the round budget instead of spinning.
+					nw.fstats.Drops++
+					nw.noteFault("drop", nw.fstats.Drops, m.To, round)
+					sent++
+					stalled++
+					kept = append(kept, m)
+				case faultinject.FateDup:
+					nw.fstats.Dups++
+					nw.noteFault("dup", nw.fstats.Dups, m.To, round)
+					recvLoad[m.To]++
+					sent++
+					remaining--
+					acted++
+					delivered = append(delivered, m, m)
+				case faultinject.FateDelay:
+					// Fabric stall: the message keeps its FIFO slot and is
+					// re-offered next round (with a fresh fate draw).
+					nw.fstats.Delays++
+					nw.noteFault("delay", nw.fstats.Delays, m.To, round)
+					stalled++
+					kept = append(kept, m)
+				default:
+					recvLoad[m.To]++
+					sent++
+					remaining--
+					acted++
+					delivered = append(delivered, m)
+				}
+			}
+			queues[s] = append([]Message(nil), kept...)
+		}
+		nw.messages += int64(len(delivered))
+		if len(delivered) > 0 {
+			nw.trace.Messages(simtrace.EngineNCC, simtrace.NoEdge, int64(len(delivered)))
+			for _, m := range delivered {
+				nw.trace.NodeWords(simtrace.EngineNCC, m.From, m.To, 1)
+			}
+		}
+		// The round is charged after its deliveries so a round-series sink
+		// attributes this batch's messages to this round boundary.
+		nw.rounds++
+		nw.trace.Rounds(simtrace.EngineNCC, 1)
+		if acted == 0 && stalled == 0 {
+			return used, errors.New("ncc: scheduler made no progress")
+		}
+		if remaining > 0 {
+			nw.trace.Counter("ncc.overloads", int64(remaining))
+		}
+		for _, m := range delivered {
+			recv(m)
+		}
+	}
+	return used, nil
+}

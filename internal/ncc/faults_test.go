@@ -1,0 +1,147 @@
+package ncc
+
+import (
+	"errors"
+	"testing"
+
+	"distlap/internal/congest"
+	"distlap/internal/faultinject"
+	"distlap/internal/graph"
+)
+
+func cliqueMsgs(n int) []Message {
+	var msgs []Message
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, Message{From: i, To: (i + 1) % n, Payload: congest.Word(i)})
+	}
+	return msgs
+}
+
+func TestFaultyDeliverDeterministic(t *testing.T) {
+	spec := faultinject.Spec{Seed: 3, DropProb: 0.2, DupProb: 0.1, DelayProb: 0.2, CrashProb: 0.1}
+	run := func() (map[graph.NodeID]congest.Word, int, faultinject.Stats) {
+		nw := NewNetwork(32)
+		nw.SetFaults(faultinject.MustNew(spec))
+		got := map[graph.NodeID]congest.Word{}
+		used, err := nw.Deliver(cliqueMsgs(32), func(m Message) { got[m.To] += m.Payload + 1 })
+		if err != nil {
+			t.Fatalf("faulty deliver: %v", err)
+		}
+		return got, used, nw.FaultStats()
+	}
+	gotA, usedA, fA := run()
+	gotB, usedB, fB := run()
+	if usedA != usedB || fA != fB {
+		t.Fatalf("faulty runs diverged: rounds %d vs %d, stats %+v vs %+v", usedA, usedB, fA, fB)
+	}
+	if len(gotA) != len(gotB) {
+		t.Fatalf("delivery sets diverged")
+	}
+	for to, w := range gotA {
+		if gotB[to] != w {
+			t.Fatalf("node %d received %d vs %d", to, w, gotB[to])
+		}
+	}
+	if fA.Total() == 0 {
+		t.Fatalf("plan injected nothing: %+v", fA)
+	}
+}
+
+func TestFaultyDeliverAllDropped(t *testing.T) {
+	// DropProb=1 defeats retransmission: the round budget must convert the
+	// starved schedule into ErrFaultBudget, with nothing delivered.
+	nw := NewNetwork(8)
+	nw.SetFaults(faultinject.MustNew(faultinject.Spec{Seed: 1, DropProb: 1}))
+	delivered := 0
+	used, err := nw.Deliver(cliqueMsgs(8), func(Message) { delivered++ })
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("all-drop deliver: got %v, want ErrFaultBudget", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d messages delivered at DropProb=1", delivered)
+	}
+	if used == 0 || nw.Rounds() != used {
+		t.Fatalf("rounds not charged: used=%d rounds=%d", used, nw.Rounds())
+	}
+	if nw.FaultStats().Drops < 8 {
+		t.Fatalf("drops=%d, want >=8 (every retransmission attempt counted)", nw.FaultStats().Drops)
+	}
+}
+
+func TestFaultyDeliverDropRetransmits(t *testing.T) {
+	// Fair loss: every message eventually arrives exactly once, over more
+	// rounds than the reliable schedule.
+	reliable := NewNetwork(16)
+	wantUsed, err := reliable.Deliver(cliqueMsgs(16), func(Message) {})
+	if err != nil {
+		t.Fatalf("reliable deliver: %v", err)
+	}
+	nw := NewNetwork(16)
+	nw.SetFaults(faultinject.MustNew(faultinject.Spec{Seed: 6, DropProb: 0.4}))
+	count := map[graph.NodeID]int{}
+	used, err := nw.Deliver(cliqueMsgs(16), func(m Message) { count[m.To]++ })
+	if err != nil {
+		t.Fatalf("lossy deliver: %v", err)
+	}
+	if len(count) != 16 {
+		t.Fatalf("%d receivers heard something, want 16", len(count))
+	}
+	for to, c := range count {
+		if c != 1 {
+			t.Fatalf("node %d received %d copies, want exactly 1", to, c)
+		}
+	}
+	if used <= wantUsed {
+		t.Fatalf("retransmission cost no rounds: lossy=%d reliable=%d", used, wantUsed)
+	}
+	if nw.FaultStats().Drops == 0 {
+		t.Fatalf("no drops injected at DropProb=0.4")
+	}
+}
+
+func TestFaultyDeliverNeverHangs(t *testing.T) {
+	// Perpetual delays starve the schedule; the round budget must convert
+	// that into an error instead of a spin.
+	nw := NewNetwork(4)
+	nw.SetFaults(faultinject.MustNew(faultinject.Spec{Seed: 2, DelayProb: 1}))
+	_, err := nw.Deliver(cliqueMsgs(4), func(Message) {})
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("expected ErrFaultBudget, got %v", err)
+	}
+}
+
+func TestFaultyDeliverDupDeliversTwice(t *testing.T) {
+	nw := NewNetwork(6)
+	nw.SetFaults(faultinject.MustNew(faultinject.Spec{Seed: 4, DupProb: 1}))
+	count := map[graph.NodeID]int{}
+	if _, err := nw.Deliver(cliqueMsgs(6), func(m Message) { count[m.To]++ }); err != nil {
+		t.Fatalf("dup deliver: %v", err)
+	}
+	for to, c := range count {
+		if c != 2 {
+			t.Fatalf("node %d received %d copies, want 2", to, c)
+		}
+	}
+	if nw.Messages() != 12 {
+		t.Fatalf("messages=%d, want 12 (both copies charged)", nw.Messages())
+	}
+}
+
+func TestNilFaultPlanKeepsReliablePath(t *testing.T) {
+	a, b := NewNetwork(16), NewNetwork(16)
+	b.SetFaults(nil)
+	var da, db []Message
+	ua, erra := a.Deliver(cliqueMsgs(16), func(m Message) { da = append(da, m) })
+	ub, errb := b.Deliver(cliqueMsgs(16), func(m Message) { db = append(db, m) })
+	if erra != nil || errb != nil {
+		t.Fatalf("reliable delivers errored: %v, %v", erra, errb)
+	}
+	if ua != ub || len(da) != len(db) {
+		t.Fatalf("nil plan changed schedule: %d vs %d rounds, %d vs %d deliveries", ua, ub, len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("delivery %d diverged", i)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"distlap/internal/congest"
+	"distlap/internal/faultinject"
 	"distlap/internal/graph"
 	"distlap/internal/simtrace"
 )
@@ -36,6 +37,11 @@ type Network struct {
 	rounds   int
 	messages int64
 	trace    simtrace.Collector
+
+	// Fault-injection state (all zero/nil on reliable networks).
+	faults      *faultinject.Plan
+	fstats      faultinject.Stats
+	crashedSeen map[graph.NodeID]bool
 }
 
 // ErrNoNodes is returned for empty networks.
@@ -57,6 +63,16 @@ func NewNetworkWith(n int, tr simtrace.Collector) *Network {
 
 // Trace returns the network's trace collector (never nil).
 func (nw *Network) Trace() simtrace.Collector { return nw.trace }
+
+// SetFaults attaches a deterministic fault plan (nil = reliable). Set it
+// before the first Deliver; decisions are pure functions of (plan seed,
+// round, sender, receiver), so a faulty clique run replays byte-identically
+// (DESIGN.md §9).
+func (nw *Network) SetFaults(p *faultinject.Plan) { nw.faults = p }
+
+// FaultStats returns the faults injected so far (zero on reliable
+// networks).
+func (nw *Network) FaultStats() faultinject.Stats { return nw.fstats }
 
 // N returns the node count.
 func (nw *Network) N() int { return nw.n }
@@ -85,6 +101,9 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 			return 0, fmt.Errorf("ncc: %w: message %d->%d with n=%d",
 				graph.ErrNodeRange, m.From, m.To, nw.n)
 		}
+	}
+	if nw.faults != nil {
+		return nw.deliverFaulty(msgs, recv)
 	}
 	// FIFO queue per sender.
 	queues := make(map[graph.NodeID][]Message)

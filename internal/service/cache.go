@@ -139,6 +139,13 @@ func (c *instanceCache) list() []InstanceInfo {
 	return out
 }
 
+// count reports the number of cached instances.
+func (c *instanceCache) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // totalBytes reports the cache's current resident estimate.
 func (c *instanceCache) totalBytes() int64 {
 	c.mu.Lock()

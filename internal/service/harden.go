@@ -1,0 +1,156 @@
+package service
+
+// The serving-path hardening of DESIGN.md §9: distlapd must degrade
+// loudly and recoverably under hostile or unlucky traffic, never hang and
+// never die. The layers, outermost first:
+//
+//   - panic recovery: a panicking handler becomes a structured 500 and the
+//     daemon keeps serving (one poisoned request must not take down the
+//     cache everyone else's amortization lives in);
+//   - admission control: a bounded in-flight semaphore; saturation answers
+//     503 with Retry-After instead of queueing without bound (/v1/healthz
+//     bypasses it so probes still see a saturated daemon as alive);
+//   - per-request deadline: every request context expires after
+//     RequestTimeout, so a pathological solve cannot hold its slot
+//     forever — the engine polls the context at round barriers and the
+//     handler answers 503 (server's fault, retryable), distinct from the
+//     client closing the connection (408);
+//   - body caps: http.MaxBytesReader bounds every request body before any
+//     JSON decoding, so an oversized payload is rejected with a structured
+//     400 after reading at most MaxBodyBytes;
+//   - socket timeouts: NewHTTPServer sets read-header/read/write/idle
+//     timeouts, closing slow-loris connections at the transport level.
+//
+// None of this touches the deterministic serving semantics: admission and
+// deadlines decide whether a request runs, never what it computes.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Hardening defaults (Config fields override each one).
+const (
+	// DefaultMaxBodyBytes bounds a request body (8 MiB holds a ~100k-entry
+	// batch RHS with slack; legitimate bodies are far smaller).
+	DefaultMaxBodyBytes int64 = 8 << 20
+	// DefaultMaxInFlight bounds concurrently served requests.
+	DefaultMaxInFlight = 64
+	// DefaultRequestTimeout bounds one request's wall time.
+	DefaultRequestTimeout = 60 * time.Second
+
+	// Socket-level timeouts for NewHTTPServer.
+	defaultReadHeaderTimeout = 5 * time.Second
+	defaultReadTimeout       = 30 * time.Second
+	defaultWriteTimeout      = 2 * DefaultRequestTimeout
+	defaultIdleTimeout       = 120 * time.Second
+
+	healthzPath = "/v1/healthz"
+)
+
+// retryAfterSeconds is the static backoff hint sent with every 503.
+const retryAfterSeconds = "1"
+
+// harden wraps the route mux in the hardening chain (outermost first:
+// recovery, admission, deadline; the body cap lives in decodeBody).
+func (s *Server) harden(next http.Handler) http.Handler {
+	return s.recoverPanics(s.admit(s.deadline(next)))
+}
+
+// recoverPanics converts a handler panic into a structured 500, keeping
+// the daemon alive. If the handler had already begun its response the
+// write fails silently — the connection is poisoned either way, and the
+// next request still gets a healthy daemon.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit is the in-flight admission gate: a non-blocking semaphore acquire,
+// answering 503 + Retry-After when the daemon is saturated. Queueing here
+// would hide overload behind unbounded latency; refusing keeps the failure
+// visible and retryable. Health probes bypass the gate — a saturated
+// daemon is alive, and saying so is the probe's whole job.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == healthzPath {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("saturated: %d requests in flight", cap(s.sem)))
+		}
+	})
+}
+
+// deadline attaches the per-request timeout to the request context. The
+// solver engines poll the context at round barriers, so an expired request
+// stops within one scheduled round and writeSolveError maps the expiry to
+// a retryable 503.
+func (s *Server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// HealthResponse is the body of GET /v1/healthz: liveness plus the
+// saturation and cache-occupancy numbers an operator (or autoscaler)
+// steers by.
+type HealthResponse struct {
+	Status           string `json:"status"`
+	InFlight         int    `json:"in_flight"`
+	MaxInFlight      int    `json:"max_in_flight"`
+	CachedInstances  int    `json:"cached_instances"`
+	CacheBytes       int64  `json:"cache_bytes"`
+	CacheBudgetBytes int64  `json:"cache_budget_bytes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:           "ok",
+		InFlight:         len(s.sem),
+		MaxInFlight:      cap(s.sem),
+		CachedInstances:  s.cache.count(),
+		CacheBytes:       s.cache.totalBytes(),
+		CacheBudgetBytes: s.cache.budget,
+	})
+}
+
+// NewHTTPServer builds the http.Server distlapd listens with: the hardened
+// handler plus socket-level timeouts (slow-loris protection the handler
+// chain cannot provide). Callers own Shutdown — pair it with
+// signal.NotifyContext as cmd/distlapd does, so in-flight requests drain
+// before exit.
+func (s *Server) NewHTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: defaultReadHeaderTimeout,
+		ReadTimeout:       defaultReadTimeout,
+		WriteTimeout:      defaultWriteTimeout,
+		IdleTimeout:       defaultIdleTimeout,
+	}
+}
+
+// maxBytesHint renders the body cap for error messages.
+func (s *Server) maxBytesHint() string {
+	return strconv.FormatInt(s.maxBody, 10)
+}

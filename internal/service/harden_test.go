@@ -1,0 +1,291 @@
+package service
+
+// Tests for the serving-path hardening (harden.go + decodeBody): body caps,
+// admission control, per-request deadlines, panic recovery, /v1/healthz,
+// and graceful Shutdown draining in-flight requests. The blocking routes
+// some tests register exist only on the test's own Server instance —
+// channels, not clocks, make the concurrency deterministic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func doRec(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestServerRejectsOversizedBody: a body past MaxBodyBytes answers a
+// structured 400 naming the limit, and a small body on the same server
+// still works.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	s := New(Config{MaxBodyBytes: 256})
+	h := s.Handler()
+
+	var sb strings.Builder
+	sb.WriteString(`{"id":"x","graph":{"n":2,"edges":[`)
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`[0,1,1]`)
+	}
+	sb.WriteString(`]}}`)
+	code, body := doReq(t, h, "POST", "/v1/graphs", sb.String())
+	mustStatus(t, "oversized load", code, http.StatusBadRequest, body)
+	if !bytes.Contains(body, []byte("exceeds 256 bytes")) {
+		t.Fatalf("oversized-body error does not name the limit: %s", body)
+	}
+
+	code, body = doReq(t, h, "POST", "/v1/graphs",
+		`{"id":"x","graph":{"family":"grid","size":16},"seed":1}`)
+	mustStatus(t, "small load after oversized", code, http.StatusOK, body)
+}
+
+// TestServerSaturationAnswers503: with the in-flight gate full, requests
+// get 503 + Retry-After while /v1/healthz bypasses the gate and keeps
+// answering; releasing the slot restores service.
+func TestServerSaturationAnswers503(t *testing.T) {
+	s := New(Config{MaxInFlight: 1})
+	h := s.Handler()
+
+	s.sem <- struct{}{} // occupy the sole slot
+	rec := doRec(t, h, "GET", "/v1/graphs", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated list: status %d, want 503: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := rec.Header().Get("Retry-After"); got != retryAfterSeconds {
+		t.Fatalf("saturated 503 Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("saturated")) {
+		t.Fatalf("saturated error body: %s", rec.Body.Bytes())
+	}
+
+	code, body := doReq(t, h, "GET", healthzPath, "")
+	mustStatus(t, "healthz under saturation", code, http.StatusOK, body)
+	var hr HealthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.InFlight != 1 || hr.MaxInFlight != 1 {
+		t.Fatalf("healthz under saturation: %+v", hr)
+	}
+
+	<-s.sem
+	code, body = doReq(t, h, "GET", "/v1/graphs", "")
+	mustStatus(t, "list after release", code, http.StatusOK, body)
+}
+
+// TestHealthzReportsCacheOccupancy: the health body carries the cache and
+// admission numbers an operator steers by.
+func TestHealthzReportsCacheOccupancy(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+
+	var hr HealthResponse
+	code, body := doReq(t, h, "GET", healthzPath, "")
+	mustStatus(t, "healthz empty", code, http.StatusOK, body)
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.InFlight != 0 || hr.MaxInFlight != DefaultMaxInFlight ||
+		hr.CachedInstances != 0 || hr.CacheBytes != 0 || hr.CacheBudgetBytes != DefaultCacheBytes {
+		t.Fatalf("empty healthz: %+v", hr)
+	}
+
+	code, body = doReq(t, h, "POST", "/v1/graphs", loadGrid)
+	mustStatus(t, "load", code, http.StatusOK, body)
+	code, body = doReq(t, h, "GET", healthzPath, "")
+	mustStatus(t, "healthz loaded", code, http.StatusOK, body)
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.CachedInstances != 1 || hr.CacheBytes <= 0 {
+		t.Fatalf("loaded healthz: %+v", hr)
+	}
+}
+
+// TestRecoverPanicsKeepsServing: a panicking handler becomes a structured
+// 500 and the daemon serves the next request as if nothing happened.
+func TestRecoverPanicsKeepsServing(t *testing.T) {
+	s := New(Config{})
+	s.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("poisoned request")
+	})
+	h := s.Handler()
+
+	code, body := doReq(t, h, "GET", "/v1/boom", "")
+	mustStatus(t, "panicking route", code, http.StatusInternalServerError, body)
+	if !bytes.Contains(body, []byte("internal error: poisoned request")) {
+		t.Fatalf("panic 500 body: %s", body)
+	}
+
+	code, body = doReq(t, h, "POST", "/v1/graphs", loadGrid)
+	mustStatus(t, "load after panic", code, http.StatusOK, body)
+	code, body = doReq(t, h, "POST", "/v1/graphs/g1/solve", `{"b":`+unitRHS(36, 0, 35)+`}`)
+	mustStatus(t, "solve after panic", code, http.StatusOK, body)
+}
+
+// TestDeadlineExpiryAnswers503: the per-request deadline reaches handlers
+// through the request context, and an expired deadline maps to a retryable
+// 503 with Retry-After (writeSolveError), distinct from client cancel.
+func TestDeadlineExpiryAnswers503(t *testing.T) {
+	s := New(Config{RequestTimeout: time.Millisecond})
+	s.mux.HandleFunc("GET /v1/stall", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // a solve polls the context at round barriers
+		writeSolveError(w, r, r.Context().Err())
+	})
+	rec := doRec(t, s.Handler(), "GET", "/v1/stall", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired request: status %d, want 503: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := rec.Header().Get("Retry-After"); got != retryAfterSeconds {
+		t.Fatalf("expired 503 Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+}
+
+// TestNewHTTPServerSetsSocketTimeouts pins the slow-loris protections: a
+// distlapd listener must never accept a connection it is willing to wait
+// forever on.
+func TestNewHTTPServerSetsSocketTimeouts(t *testing.T) {
+	hs := New(Config{}).NewHTTPServer(":0")
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 ||
+		hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Fatalf("NewHTTPServer left a socket timeout unset: %+v", hs)
+	}
+}
+
+// TestShutdownDrainsInFlight: Server.Shutdown on the hardened http.Server
+// waits for an in-flight request to finish (the response arrives whole)
+// instead of killing its connection.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s := New(Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.mux.HandleFunc("GET /v1/block", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		writeJSON(w, http.StatusOK, map[string]string{"drained": "whole"})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := s.NewHTTPServer(ln.Addr().String())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	respc := make(chan []byte, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/v1/block")
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errc <- fmt.Errorf("in-flight request: status %d", resp.StatusCode)
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- body
+	}()
+
+	<-entered
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- hs.Shutdown(t.Context()) }()
+
+	// Shutdown must wait for the blocked request, not return under it.
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case body := <-respc:
+		if !bytes.Contains(body, []byte(`"drained":"whole"`)) {
+			t.Fatalf("drained response body: %s", body)
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight request failed across Shutdown: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight response never arrived")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+// TestCacheEvictWhileSolveInFlight hammers the evict/reload path while
+// solves run against the same instance ID. Instances are immutable and
+// handlers hold their *Instance across eviction, so every response must be
+// either a correct 200 or a clean 404 — run under -race, this is the
+// aliasing proof for the cache's share-nothing claim.
+func TestCacheEvictWhileSolveInFlight(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	code, body := doReq(t, h, "POST", "/v1/graphs", loadGrid)
+	mustStatus(t, "load", code, http.StatusOK, body)
+
+	const solvers, rounds = 4, 8
+	rhs := unitRHS(36, 0, 35)
+	done := make(chan error, solvers)
+	for w := 0; w < solvers; w++ {
+		go func() {
+			for i := 0; i < rounds; i++ {
+				code, body := doReq(t, h, "POST", "/v1/graphs/g1/solve", `{"b":`+rhs+`}`)
+				switch code {
+				case http.StatusOK:
+					var sr SolveResponse
+					if err := json.Unmarshal(body, &sr); err != nil {
+						done <- err
+						return
+					}
+					if len(sr.Results) != 1 || sr.Results[0].Residual > 1e-6 {
+						done <- fmt.Errorf("solve under eviction: %+v", sr.Results)
+						return
+					}
+				case http.StatusNotFound:
+					// Evicted between requests — clean miss, not corruption.
+				default:
+					done <- fmt.Errorf("solve under eviction: status %d: %s", code, body)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 2*rounds; i++ {
+		s.cache.evict("g1")
+		code, body := doReq(t, h, "POST", "/v1/graphs", loadGrid)
+		mustStatus(t, "reload", code, http.StatusOK, body)
+	}
+	for w := 0; w < solvers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

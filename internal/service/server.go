@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"distlap"
 )
@@ -20,6 +22,16 @@ type Config struct {
 	// (0 selects DefaultCacheBytes). One oversized instance may exceed it;
 	// the budget bounds the herd.
 	CacheBytes int64
+	// MaxBodyBytes bounds every request body (0 selects
+	// DefaultMaxBodyBytes); oversized bodies are rejected with a
+	// structured 400 before JSON decoding reads past the cap.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently served requests (0 selects
+	// DefaultMaxInFlight); excess requests get 503 + Retry-After.
+	MaxInFlight int
+	// RequestTimeout bounds one request's wall time (0 selects
+	// DefaultRequestTimeout); expiry surfaces as a retryable 503.
+	RequestTimeout time.Duration
 }
 
 // Server is the distlapd HTTP service: a JSON API over a byte-budgeted LRU
@@ -37,8 +49,11 @@ type Config struct {
 // of the prepared-Instance API). Responses are deterministic: identical
 // requests against identically-configured daemons are byte-identical.
 type Server struct {
-	cache *instanceCache
-	mux   *http.ServeMux
+	cache      *instanceCache
+	mux        *http.ServeMux
+	maxBody    int64
+	sem        chan struct{} // in-flight admission semaphore (harden.go)
+	reqTimeout time.Duration
 }
 
 // New returns a Server with its routes installed.
@@ -47,18 +62,39 @@ func New(cfg Config) *Server {
 	if budget <= 0 {
 		budget = DefaultCacheBytes
 	}
-	s := &Server{cache: newInstanceCache(budget), mux: http.NewServeMux()}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	inFlight := cfg.MaxInFlight
+	if inFlight <= 0 {
+		inFlight = DefaultMaxInFlight
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		cache:      newInstanceCache(budget),
+		mux:        http.NewServeMux(),
+		maxBody:    maxBody,
+		sem:        make(chan struct{}, inFlight),
+		reqTimeout: reqTimeout,
+	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleLoad)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
 	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/flow", s.handleFlow)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/mst", s.handleMST)
+	s.mux.HandleFunc("GET "+healthzPath, s.handleHealthz)
 	return s
 }
 
-// Handler returns the Server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the Server's HTTP handler: the route mux wrapped in the
+// hardening chain of harden.go (panic recovery, admission control,
+// per-request deadlines).
+func (s *Server) Handler() http.Handler { return s.harden(s.mux) }
 
 // GraphSpec describes the graph to load: an explicit edge list or a named
 // standard family with an approximate target size.
@@ -124,7 +160,7 @@ func parseMode(s string) (distlap.Mode, error) {
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req LoadRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.ID == "" {
@@ -242,7 +278,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SolveRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if (len(req.B) == 0) == (len(req.Batch) == 0) {
@@ -292,7 +328,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req FlowRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	fl, err := inst.Flow(r.Context(), req.S, req.T, requestOpts(req.Eps, req.Seed)...)
@@ -326,7 +362,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req MSTRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	res, err := inst.MST(r.Context(), requestOpts(0, req.Seed)...)
@@ -363,23 +399,43 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+// decodeBody decodes a JSON request body under the server's hardening
+// rules: the body is capped at maxBody bytes (http.MaxBytesReader — an
+// oversized payload is rejected after reading at most the cap, with a
+// structured 400 naming the limit) and unknown fields are rejected (a
+// typo'd field silently ignored would return a confidently wrong answer).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusBadRequest,
+				"request body exceeds "+s.maxBytesHint()+" bytes")
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
-// writeSolveError maps engine errors to HTTP statuses: a cancelled request
-// context becomes 499-style 400 territory — we use 499's closest standard
-// cousin, 408 Request Timeout — and everything else is a 400 (all engine
-// failures are input-shaped: bad RHS, bad terminals, disconnected graphs).
+// writeSolveError maps engine errors to HTTP statuses. A request whose
+// deadline (the server's own RequestTimeout) expired answers a retryable
+// 503 with Retry-After — the server ran out of patience, not the client.
+// A context the client cancelled answers 408 (499's closest standard
+// cousin). Everything else is a 400: all remaining engine failures are
+// input-shaped (bad RHS, bad terminals, disconnected graphs, or a fault
+// plan the recovery ladder could not verify a result under).
 func writeSolveError(w http.ResponseWriter, r *http.Request, err error) {
-	if r.Context().Err() != nil {
-		writeError(w, http.StatusRequestTimeout, r.Context().Err().Error())
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+			return
+		}
+		writeError(w, http.StatusRequestTimeout, ctxErr.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, err.Error())

@@ -37,6 +37,13 @@ type Record struct {
 	Round    int     `json:"round"`
 	Step     int     `json:"step"`
 	MaxLoad  int64   `json:"maxload"`
+
+	// AtRound is filled by Parse, not the trace: for gauge records, the
+	// 1-based cumulative series round in progress when the sample was
+	// emitted (the stream interleaves gauges between round boundaries, so
+	// file position recovers the global round even when the record's own
+	// rounds field is engine-local). Timeline markers bucket by it.
+	AtRound int `json:"-"`
 }
 
 // GaugeSeries is one named telemetry series in sample (emission) order.
@@ -66,6 +73,7 @@ type Profile struct {
 func Parse(r io.Reader) (*Profile, error) {
 	p := &Profile{Untracked: Record{Ev: "untracked"}}
 	gaugeIdx := make(map[string]int)
+	curRound := 0 // cumulative round of the last series boundary seen
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -95,8 +103,14 @@ func Parse(r io.Reader) (*Profile, error) {
 		case "nodehist":
 			p.NodeHist = append(p.NodeHist, rec)
 		case "series":
+			curRound = rec.Round
 			p.Series = append(p.Series, rec)
 		case "gauge":
+			// A gauge emitted mid-round precedes its round's boundary
+			// record, so the round in progress is the last boundary + 1
+			// (samples after the final boundary overshoot by one; the
+			// timeline clamps them onto the axis).
+			rec.AtRound = curRound + 1
 			i, ok := gaugeIdx[rec.Name]
 			if !ok {
 				i = len(p.Gauges)

@@ -148,6 +148,59 @@ func TestTimeline(t *testing.T) {
 	}
 }
 
+// TestTimelineFaultMarkers: fault.<kind> gauge streams render as marker
+// rows, aligned to the series axis by stream position (a fault emitted
+// mid-round precedes that round's boundary record), and samples past the
+// final boundary clamp into the last bucket instead of vanishing.
+func TestTimelineFaultMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	j := simtrace.NewJSONLSeries(&buf)
+	j.Begin("solve")
+	for r := 1; r <= 4; r++ {
+		j.Messages(simtrace.EngineCongest, 0, 2)
+		switch r { // faults strike mid-round, as the engines emit them
+		case 1:
+			j.Gauge("fault.drop", 1, 3, r)
+		case 2:
+			j.Gauge("fault.drop", 2, 5, r)
+		case 4:
+			j.Gauge("fault.dup", 1, 3, r)
+		}
+		j.Rounds(simtrace.EngineCongest, 1)
+	}
+	j.End("solve")
+	j.Gauge("fault.delay", 1, 2, 9) // past the last boundary: clamps
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Timeline(&out, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault.drop", "2 events",
+		"fault.dup", "fault.delay", "1 events",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, got)
+		}
+	}
+	// The two drops land in buckets 0 and 1 of four; dup in the last.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "fault.drop") && !strings.Contains(line, "|@@  |") {
+			t.Fatalf("fault.drop marker row misplaced: %q", line)
+		}
+		if strings.Contains(line, "fault.delay") && !strings.Contains(line, "|   @|") {
+			t.Fatalf("fault.delay sample did not clamp to the last bucket: %q", line)
+		}
+	}
+}
+
 func TestTimelineRequiresSeries(t *testing.T) {
 	var buf bytes.Buffer
 	j := simtrace.NewJSONL(&buf) // no series

@@ -15,8 +15,12 @@ const timelineLevels = " .:*#@"
 // execution's rounds are squashed into at most width buckets, one row per
 // phase path shows where in the execution that phase's rounds were charged
 // (intensity is row-relative), and summary rows show per-bucket message
-// volume and the running max directed-edge load. Requires a trace recorded
-// by a series-enabled sink.
+// volume and the running max directed-edge load. When the trace carries
+// fault-injection telemetry (the engines' "fault.<kind>" gauge streams,
+// aligned to the series axis by stream position — see Record.AtRound), one
+// marker row per fault kind shows where in the execution the plan struck —
+// drops clustering under a convergecast phase explain that phase's
+// stretched bucket. Requires a trace recorded by a series-enabled sink.
 func Timeline(w io.Writer, p *Profile, width int) error {
 	if len(p.Series) == 0 {
 		return fmt.Errorf("simprof: trace has no series records — record it with a series-enabled sink (e.g. experiments -series -trace)")
@@ -34,10 +38,15 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 	if cols > maxRound {
 		cols = maxRound
 	}
-	// bucket maps a 1-based cumulative round to its column.
+	// bucket maps a 1-based cumulative round to its column. Gauge samples
+	// emitted after the final round boundary overshoot the axis by one
+	// (Record.AtRound) — clamp instead of dropping them.
 	bucket := func(round int) int {
 		if round < 1 {
 			round = 1
+		}
+		if round > maxRound {
+			round = maxRound
 		}
 		return (round - 1) * cols / maxRound
 	}
@@ -83,8 +92,38 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 		return rows[a].label < rows[b].label
 	})
 
+	// Fault markers: one row per injected fault kind, counting events per
+	// bucket from the engines' "fault.<kind>" gauge streams. Bucketing is
+	// by AtRound — the cumulative series round the sample interleaved
+	// with — so markers stay aligned with the phase rows even in traces
+	// that concatenate several executions (each engine's own round counter
+	// restarts per run; the stream position does not).
+	var faults []row
+	for _, g := range p.Gauges {
+		if !strings.HasPrefix(g.Name, "fault.") {
+			continue
+		}
+		fr := row{label: g.Name, cells: make([]int64, cols)}
+		for _, s := range g.Samples {
+			fr.cells[bucket(s.AtRound)]++
+			fr.total++
+		}
+		faults = append(faults, fr)
+	}
+	sort.SliceStable(faults, func(a, b int) bool {
+		if faults[a].total != faults[b].total {
+			return faults[a].total > faults[b].total
+		}
+		return faults[a].label < faults[b].label
+	})
+
 	labelW := len("max edge load")
 	for _, r := range rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	for _, r := range faults {
 		if len(r.label) > labelW {
 			labelW = len(r.label)
 		}
@@ -96,6 +135,9 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 	}
 	fmt.Fprintf(w, "  %-*s |%s| %d total\n", labelW, "messages", heatline(msgs), totalMsgs)
 	fmt.Fprintf(w, "  %-*s |%s| %d peak\n", labelW, "max edge load", heatline(load), finalLoad)
+	for _, r := range faults {
+		fmt.Fprintf(w, "  %-*s |%s| %d events\n", labelW, r.label, heatline(r.cells), r.total)
+	}
 	return nil
 }
 
