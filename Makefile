@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json race test bench bench-smoke bench-compare microbench trace-smoke folded-artifact daemon-smoke chaos-smoke
+.PHONY: check build vet lint lint-json race test alloc-check bench bench-smoke bench-compare bench-wall microbench trace-smoke folded-artifact daemon-smoke chaos-smoke
 
-check: build vet lint test trace-smoke daemon-smoke chaos-smoke
+check: build vet lint test alloc-check trace-smoke daemon-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ lint-json:
 
 test:
 	$(GO) test -race ./...
+
+# Allocation-regression budgets for the pooled hot paths (PERFORMANCE.md):
+# steady-state Exchange at 0 allocs/round, AggregateMany at 1 alloc/call,
+# a PCG iteration within its fixed budget. The tests are `//go:build !race`
+# because the race runtime changes allocation counts, so this is a separate
+# plain-runtime pass; `make test` covers the same code for correctness.
+alloc-check:
+	$(GO) test -run 'Allocs' ./internal/congest ./internal/core
 
 # Focused race-detector pass over the packages sanctioned to run
 # goroutines — the experiments worker pool, the simtrace writer, the
@@ -65,6 +73,14 @@ bench-smoke:
 #   go run ./cmd/bench -label seed -parallel 1 -out BENCH_seed.json
 bench-compare:
 	$(GO) run ./cmd/bench -quick -label ci -parallel 4 -compare BENCH_seed_quick.json
+
+# Advisory wall-time report: quick sweeps with per-experiment wall deltas
+# against the committed quick baseline. Wall time varies by machine and
+# load, so this target never fails — it exists to make wall drift visible
+# in CI logs, not to gate on it (PERFORMANCE.md "How to profile a
+# regression").
+bench-wall:
+	$(GO) run ./cmd/bench -quick -label ci -parallel 4 -wall BENCH_seed_quick.json
 
 # Go microbenchmarks (per-experiment testing.B harness in bench_test.go).
 microbench:

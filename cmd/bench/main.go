@@ -13,6 +13,7 @@
 //	bench -verify               # also run at -parallel 1 and assert parity
 //	bench -compare BENCH_seed.json            # exit nonzero on regression
 //	bench -compare BENCH_seed.json -threshold 0.05
+//	bench -wall BENCH_seed.json               # advisory wall deltas, never fails
 //
 // Schema stability (documented in README "Benchmarking"): `schema` is
 // bumped on any incompatible change; `rounds`, `messages`, `max_edge_load`
@@ -54,6 +55,7 @@ func run(args []string) error {
 	verify := fs.Bool("verify", false, "re-run every experiment at -parallel 1 and require byte-identical tables and traces")
 	compare := fs.String("compare", "", "baseline BENCH_<label>.json to gate against; regressions exit nonzero")
 	threshold := fs.Float64("threshold", 0.10, "regression threshold for -compare (fraction; 0.10 = 10%)")
+	wallBase := fs.String("wall", "", "baseline BENCH_<label>.json to print wall-time deltas against; advisory, never fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,7 +134,39 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *wallBase != "" {
+		reportWall(*wallBase, &doc)
+	}
 	return nil
+}
+
+// reportWall prints per-experiment wall-time deltas against the baseline
+// file. Wall time varies by machine and load, so this is advisory output
+// only: it never affects the exit status, even if the baseline is missing.
+func reportWall(baselinePath string, doc *simprof.BenchFile) {
+	baseline, err := simprof.LoadBench(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: wall: %v (advisory step, continuing)\n", err)
+		return
+	}
+	base := make(map[string]float64, len(baseline.Experiments))
+	for _, e := range baseline.Experiments {
+		base[e.ID] = e.WallMS
+	}
+	fmt.Fprintf(os.Stderr, "bench: wall deltas vs %s (advisory — wall time is never gated):\n", baselinePath)
+	for _, e := range doc.Experiments {
+		b, ok := base[e.ID]
+		if !ok || b <= 0 {
+			fmt.Fprintf(os.Stderr, "  %-4s %8.1fms  (no baseline)\n", e.ID, e.WallMS)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-4s %8.1fms  baseline %8.1fms  %+6.1f%%\n",
+			e.ID, e.WallMS, b, 100*(e.WallMS-b)/b)
+	}
+	if baseline.TotalWallMS > 0 {
+		fmt.Fprintf(os.Stderr, "  total %7.1fms  baseline %8.1fms  %+6.1f%%\n",
+			doc.TotalWallMS, baseline.TotalWallMS, 100*(doc.TotalWallMS-baseline.TotalWallMS)/baseline.TotalWallMS)
+	}
 }
 
 // compareAgainst gates doc's deterministic metrics against the baseline

@@ -93,17 +93,33 @@ type Options struct {
 	// faulty run is exactly as replayable as a reliable one. nil keeps the
 	// reliable fast path with zero overhead (DESIGN.md §9).
 	Faults *faultinject.Plan
+
+	// Topology, when non-nil, supplies a prebuilt CSR view of the graph —
+	// the per-instance flat topology a prepared core.Instance shares across
+	// its requests so each request-private network skips the Θ(n+m)
+	// flattening. It must describe exactly the same graph; nil makes the
+	// network build its own.
+	Topology *graph.CSR
 }
 
 // Network is a CONGEST communication network over a fixed graph.
 // It is not safe for concurrent use.
+//
+// A network owns a set of pooled scratch buffers (deliveries, scheduler
+// queues, sweep state — see scratch.go) that its primitives reuse across
+// calls, which is what makes steady-state rounds allocation-free. The
+// pools are request-private by construction: every request runs on its own
+// Network (DESIGN.md §7/§8), so pooling never shares mutable state across
+// goroutines.
 type Network struct {
 	g       *graph.Graph
+	csr     *graph.CSR // flat topology: charge accounting, edge lookups
 	opts    Options
 	rng     *rand.Rand
 	metrics Metrics
 	load    []int64 // per directed edge: total words carried
 	trace   simtrace.Collector
+	quiet   bool   // collector is simtrace.Nop: skip per-event trace emission
 	engine  string // simtrace engine label for this network's charges
 
 	// Fault-injection state (all zero/nil on reliable networks).
@@ -111,6 +127,11 @@ type Network struct {
 	fstats      FaultStats
 	stash       []stashedDelivery // Exchange messages in delayed flight
 	crashedSeen map[graph.NodeID]bool
+
+	// Pooled scratch reused by the engine primitives (scratch.go). All of
+	// it is dead state between calls; none of it influences scheduling,
+	// charging, or the RNG.
+	scr scratch
 }
 
 // ErrNoTrees is returned by tree primitives invoked with no work.
@@ -164,16 +185,28 @@ func NewNetwork(g *graph.Graph, opts Options) *Network {
 	if engine == "" {
 		engine = simtrace.EngineCongest
 	}
+	csr := opts.Topology
+	if csr == nil {
+		csr = graph.BuildCSR(g)
+	}
+	tr := simtrace.OrNop(opts.Trace)
+	_, quiet := tr.(simtrace.Nop)
 	return &Network{
 		g:      g,
+		csr:    csr,
 		opts:   opts,
 		rng:    rand.New(rand.NewSource(opts.Seed)),
 		load:   make([]int64, 2*g.M()),
-		trace:  simtrace.OrNop(opts.Trace),
+		trace:  tr,
+		quiet:  quiet,
 		engine: engine,
 		faults: opts.Faults,
 	}
 }
+
+// Topology returns the network's flat CSR view of the graph (read-only,
+// shared; see graph.CSR).
+func (nw *Network) Topology() *graph.CSR { return nw.csr }
 
 // Graph returns the underlying communication graph.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
@@ -208,10 +241,20 @@ func (nw *Network) ChargeRounds(r int) {
 	}
 }
 
+// chargeRound records one elapsed round. On untraced networks this is a
+// bare counter increment — the "no charge recorded" fast path that makes
+// simulation bookkeeping free when nobody is listening.
+func (nw *Network) chargeRound() {
+	nw.metrics.Rounds++
+	if !nw.quiet {
+		nw.trace.Rounds(nw.engine, 1)
+	}
+}
+
 // dirEdge encodes a directed use of an undirected edge: 2*edge for U->V and
 // 2*edge+1 for V->U.
 func (nw *Network) dirEdge(id graph.EdgeID, from graph.NodeID) int {
-	if nw.g.Edge(id).U == from {
+	if int(nw.csr.EdgeU[id]) == from {
 		return 2 * id
 	}
 	return 2*id + 1
@@ -220,16 +263,22 @@ func (nw *Network) dirEdge(id graph.EdgeID, from graph.NodeID) int {
 // chargeEdge records one word crossing a directed edge, attributing it to
 // the edge (Messages) and to both endpoint nodes (NodeWords). The endpoints
 // are recovered from the directed-edge encoding: de/2 is the edge id and the
-// parity selects the direction (even = U->V).
+// parity selects the direction (even = U->V). Metrics accounting is three
+// flat-array operations; the per-message trace emission behind it is
+// skipped entirely on untraced networks (traced runs keep the exact
+// historical emission order).
 func (nw *Network) chargeEdge(de int) {
 	nw.metrics.Messages++
 	nw.load[de]++
 	if l := int(nw.load[de]); l > nw.metrics.MaxEdgeLoad {
 		nw.metrics.MaxEdgeLoad = l
 	}
+	if nw.quiet {
+		return
+	}
 	nw.trace.Messages(nw.engine, de, 1)
-	e := nw.g.Edge(graph.EdgeID(de / 2))
-	from, to := e.U, e.V
+	id := de / 2
+	from, to := graph.NodeID(nw.csr.EdgeU[id]), graph.NodeID(nw.csr.EdgeV[id])
 	if de%2 == 1 {
 		from, to = to, from
 	}
@@ -254,6 +303,11 @@ type delivery struct {
 // duplicated or delayed and crash-stopped nodes fall silent; see
 // exchangeFaulty. Without one this is the reliable fast path, bit-for-bit
 // the pre-fault-injection engine.
+//
+// Θ(n + m) work per round; deterministic — handlers run in ascending
+// (node, half-edge) order, deliveries in send order. The delivery buffer
+// is pooled: after the first round, a reliable Exchange allocates nothing
+// (pinned at zero by TestExchangeSteadyStateAllocs).
 func (nw *Network) Exchange(
 	send func(v graph.NodeID, h graph.Half) (Word, bool),
 	recv func(v graph.NodeID, h graph.Half, w Word),
@@ -263,7 +317,11 @@ func (nw *Network) Exchange(
 		return
 	}
 	nw.checkCancel()
-	var deliveries []delivery
+	// Borrow the pooled delivery buffer; parking nil in its place keeps a
+	// reentrant Exchange from a handler (none exist today) from clobbering
+	// the batch mid-flight.
+	deliveries := nw.scr.deliveries[:0]
+	nw.scr.deliveries = nil
 	for v := 0; v < nw.g.N(); v++ {
 		for _, h := range nw.g.Neighbors(v) {
 			w, ok := send(v, h)
@@ -278,11 +336,11 @@ func (nw *Network) Exchange(
 			})
 		}
 	}
-	nw.metrics.Rounds++
-	nw.trace.Rounds(nw.engine, 1)
+	nw.chargeRound()
 	for _, d := range deliveries {
 		recv(d.to, d.half, d.w)
 	}
+	nw.scr.deliveries = deliveries
 }
 
 // ExchangeK runs k consecutive Exchange rounds with the same handlers.
@@ -320,9 +378,12 @@ func (nw *Network) BFS(root graph.NodeID) *graph.BFSResult {
 	}
 	res.Dist[root] = 0
 	res.Order = append(res.Order, root)
-	frontier := map[graph.NodeID]bool{root: true}
-	for len(frontier) > 0 {
-		next := make(map[graph.NodeID]bool)
+	// Flat frontier: a membership bitmap plus the node list of the current
+	// wave (the only nodes whose bits need clearing between rounds).
+	frontier := make([]bool, n)
+	frontier[root] = true
+	wave := []graph.NodeID{root}
+	for len(wave) > 0 {
 		var reached []graph.NodeID
 		nw.Exchange(
 			func(v graph.NodeID, h graph.Half) (Word, bool) {
@@ -336,7 +397,6 @@ func (nw *Network) BFS(root graph.NodeID) *graph.BFSResult {
 					res.Dist[v] = int(w) + 1
 					res.Parent[v] = h.To
 					res.ParentEdge[v] = h.Edge
-					next[v] = true
 					reached = append(reached, v)
 				}
 			},
@@ -345,7 +405,13 @@ func (nw *Network) BFS(root graph.NodeID) *graph.BFSResult {
 		// the sending side; sort by node ID for stability.
 		sortNodeIDs(reached)
 		res.Order = append(res.Order, reached...)
-		frontier = next
+		for _, v := range wave {
+			frontier[v] = false
+		}
+		for _, v := range reached {
+			frontier[v] = true
+		}
+		wave = reached
 	}
 	return res
 }

@@ -25,64 +25,39 @@ func WordFloat(w Word) float64 { return math.Float64frombits(uint64(w)) }
 // parent — physically known to both endpoints after the pass). Tree solvers
 // (internal/core's tree and Schwarz preconditioners) need these per-edge
 // partial aggregates, not just the root total.
+//
+// subtree[t] is a dense per-node row: subtree[t][v] is node v's aggregate in
+// tree t, defined only for v in trees[t].Members (other slots hold stale
+// scratch). The rows alias the network's pooled convergecast state and stay
+// valid until the next convergecast-family primitive on this network
+// (broadcasts and down-sweeps do not touch them); copy to retain longer.
 func (nw *Network) ConvergecastAll(
 	trees []*graph.Tree,
 	val func(t int, v graph.NodeID) Word,
 	agg Agg,
-) (roots []Word, subtree []map[graph.NodeID]Word, err error) {
+) (roots []Word, subtree [][]Word, err error) {
 	if len(trees) == 0 {
 		return nil, nil, ErrNoTrees
 	}
 	k := len(trees)
-	type nodeState struct {
-		pending int
-		acc     Word
-	}
-	states := make([]map[graph.NodeID]*nodeState, k)
+	st := nw.ccStateFor(trees)
 	sched := newTreeSched(nw)
 	delays := nw.randomDelays(k, nw.treeCongestion(trees))
-	for t, tr := range trees {
-		states[t] = make(map[graph.NodeID]*nodeState, len(tr.Members))
-		ch := tr.Children()
-		for _, v := range tr.Members {
-			states[t][v] = &nodeState{pending: len(ch[v]), acc: val(t, v)}
-		}
-		for _, v := range tr.Members {
-			st := states[t][v]
-			if st.pending == 0 && v != tr.Root {
-				sched.push(nw.dirEdge(tr.ParentEdge[v], v), pendingSend{
-					tree: t, from: v, to: tr.Parent[v], w: st.acc,
-					eligible: 1 + delays[t],
-				})
-			}
-		}
-	}
-	deliver := func(ps pendingSend) {
-		tr := trees[ps.tree]
-		st := states[ps.tree][ps.to]
-		st.acc = agg(st.acc, ps.w)
-		st.pending--
-		if st.pending == 0 && ps.to != tr.Root {
-			sched.push(nw.dirEdge(tr.ParentEdge[ps.to], ps.to), pendingSend{
-				tree: ps.tree, from: ps.to, to: tr.Parent[ps.to], w: st.acc,
-				eligible: sched.round + 1,
-			})
-		}
-	}
+	st.initConvergecast(nw, sched, trees, delays, val)
+	deliver := func(ps pendingSend) { st.deliverUp(nw, sched, trees, agg, ps) }
 	for sched.step(deliver) {
 	}
 	roots = make([]Word, k)
-	subtree = make([]map[graph.NodeID]Word, k)
+	subtree = make([][]Word, k)
 	for t, tr := range trees {
-		subtree[t] = make(map[graph.NodeID]Word, len(tr.Members))
+		row := st.acc[t*st.n : (t+1)*st.n]
 		for _, v := range tr.Members {
-			st := states[t][v]
-			if st.pending != 0 {
+			if st.pending[t*st.n+v] != 0 {
 				return nil, nil, fmt.Errorf("congest: convergecast of tree %d stuck at node %d", t, v)
 			}
-			subtree[t][v] = st.acc
 		}
-		roots[t] = subtree[t][tr.Root]
+		subtree[t] = row
+		roots[t] = row[tr.Root]
 	}
 	return roots, subtree, nil
 }
@@ -92,6 +67,8 @@ func (nw *Network) ConvergecastAll(
 // parentVal) — a function of locally-known state — and sends the result to
 // the child. on fires at every member with its received (or, for the root,
 // initial) value. This is the downward pass of distributed tree solvers.
+// Like the other tree primitives it runs on pooled flat state (child index,
+// receipt stamps, scheduler FIFOs) and allocates nothing at steady state.
 func (nw *Network) DownSweepMany(
 	trees []*graph.Tree,
 	rootVal []Word,
@@ -105,40 +82,43 @@ func (nw *Network) DownSweepMany(
 		return fmt.Errorf("congest: %d root values for %d trees", len(rootVal), len(trees))
 	}
 	k := len(trees)
+	nw.scr.nextEpoch(k * nw.g.N())
 	sched := newTreeSched(nw)
 	delays := nw.randomDelays(k, nw.treeCongestion(trees))
-	children := make([][][]graph.NodeID, k)
-	received := make([]map[graph.NodeID]bool, k)
-	for t, tr := range trees {
-		children[t] = tr.Children()
-		received[t] = make(map[graph.NodeID]bool, len(tr.Members))
+	ci := nw.buildChildIndex(trees)
+	received := grownInts(nw.scr.recvCount, k)
+	nw.scr.recvCount = received
+	for i := range received {
+		received[i] = 0
 	}
+
 	fanOut := func(t int, v graph.NodeID, w Word, eligible int) {
-		for _, c := range children[t][v] {
+		for _, c := range ci.children(t, v) {
 			sched.push(nw.dirEdge(trees[t].ParentEdge[c], v), pendingSend{
 				tree: t, from: v, to: c, w: next(t, v, c, w), eligible: eligible,
 			})
 		}
 	}
 	for t, tr := range trees {
-		received[t][tr.Root] = true
+		nw.bcSeen(t, tr.Root)
+		received[t]++
 		on(t, tr.Root, rootVal[t])
 		fanOut(t, tr.Root, rootVal[t], 1+delays[t])
 	}
 	deliver := func(ps pendingSend) {
-		if received[ps.tree][ps.to] {
+		if nw.bcSeen(ps.tree, ps.to) {
 			return
 		}
-		received[ps.tree][ps.to] = true
+		received[ps.tree]++
 		on(ps.tree, ps.to, ps.w)
 		fanOut(ps.tree, ps.to, ps.w, sched.round+1)
 	}
 	for sched.step(deliver) {
 	}
 	for t, tr := range trees {
-		if len(received[t]) != len(tr.Members) {
+		if received[t] != len(tr.Members) {
 			return fmt.Errorf("congest: down-sweep of tree %d reached %d of %d members",
-				t, len(received[t]), len(tr.Members))
+				t, received[t], len(tr.Members))
 		}
 	}
 	return nil

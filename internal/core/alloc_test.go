@@ -1,0 +1,72 @@
+//go:build !race
+
+// Allocation-regression guard for the steady-state PCG iteration. The race
+// runtime changes allocation behaviour, so this runs only in the plain test
+// pass (`make alloc-check`); the race pass covers the same code for
+// correctness.
+package core
+
+import (
+	"context"
+	"testing"
+
+	"distlap/internal/graph"
+)
+
+// iterAllocBudget bounds the marginal heap allocations of one steady-state
+// PCG iteration on a prepared instance. The iteration's vectors (residual,
+// search direction, reduction operands) and the engines' delivery/scheduler
+// state are pooled, so what remains is the documented small fixed set: the
+// preconditioner's output vector, the per-call result slices of the global
+// reductions and tree primitives, and the variadic argument slices. ~18 on
+// go1.x today; the budget leaves slack for toolchain drift, not for new
+// per-iteration vectors — those belong in a pool.
+const iterAllocBudget = 24
+
+// TestPCGIterationAllocs measures the marginal allocations per PCG
+// iteration by differencing two deterministic solves of different depths on
+// one prepared instance (the fixed per-request cost — fresh engine, pools,
+// result — cancels out).
+func TestPCGIterationAllocs(t *testing.T) {
+	g := graph.Grid(16, 16)
+	in, err := PrepareInstance(context.Background(), g, PrepareConfig{Mode: ModeUniversal, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	mean := 0.0
+	for _, v := range b {
+		mean += v
+	}
+	mean /= float64(len(b))
+	for i := range b {
+		b[i] -= mean
+	}
+
+	solve := func(tol float64) (float64, int) {
+		var iters int
+		allocs := testing.AllocsPerRun(3, func() {
+			res, err := in.Solve(b, Request{Tol: tol, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters = res.Iterations
+		})
+		return allocs, iters
+	}
+	shallowAllocs, shallowIters := solve(1e-4)
+	deepAllocs, deepIters := solve(1e-10)
+	if deepIters <= shallowIters {
+		t.Fatalf("tolerance sweep did not separate iteration counts: %d vs %d", shallowIters, deepIters)
+	}
+	perIter := (deepAllocs - shallowAllocs) / float64(deepIters-shallowIters)
+	t.Logf("allocs: %d iters -> %.0f, %d iters -> %.0f; marginal %.2f/iteration (budget %d)",
+		shallowIters, shallowAllocs, deepIters, deepAllocs, perIter, iterAllocBudget)
+	if perIter > iterAllocBudget {
+		t.Fatalf("steady-state PCG iteration allocates %.2f, budget %d — new per-iteration state belongs in a pool",
+			perIter, iterAllocBudget)
+	}
+}

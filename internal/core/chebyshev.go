@@ -95,6 +95,9 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 	r := linalg.Copy(bc)
 	var p []float64
 	alpha := 0.0
+	// Residual-check scratch, allocated once and reused: bsq is dead after
+	// the norm setup above.
+	rsq := bsq
 	for it := 1; it <= maxIter; it++ {
 		if opts.Cancel != nil {
 			if err := opts.Cancel(); err != nil {
@@ -125,14 +128,11 @@ func SolveChebyshev(c Comm, b []float64, opts ChebyshevOptions) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		r = linalg.Sub(bc, lx)
+		linalg.SubInto(r, bc, lx)
 		if it%checkEvery != 0 && it != maxIter {
 			continue
 		}
-		rsq := make([]float64, n)
-		for i := range r {
-			rsq[i] = r[i] * r[i]
-		}
+		linalg.MulInto(rsq, r, r)
 		tr.Begin("reduce")
 		pair, err := c.GlobalSums(rsq)
 		tr.End("reduce")

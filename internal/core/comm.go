@@ -67,12 +67,26 @@ type Comm interface {
 	// returns each tree's node potentials. rootVal seeds the downward pass
 	// from the root's subtree total; down computes a child's potential
 	// from its parent's potential and the child's subtree sum.
+	//
+	// The result is dense: row t is indexed by node ID, defined only at
+	// trees[t].Members (other slots hold stale scratch). Rows alias the
+	// comm's pooled sweep buffer and are valid until the next TreeUpDown on
+	// this comm (TreeTotals and the other primitives do not disturb them);
+	// callers needing longer retention must copy.
 	TreeUpDown(
 		trees []*graph.Tree,
 		leaf func(t int, v graph.NodeID) float64,
 		rootVal func(t int, total float64) float64,
 		down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
-	) ([]map[graph.NodeID]float64, error)
+	) ([][]float64, error)
+	// TreeTotals runs, concurrently over all trees, an upward sum of leaf
+	// values followed by a broadcast of each root total back to the members,
+	// returning the per-tree totals. It moves exactly the same sends through
+	// exactly the same schedule as a TreeUpDown whose downward transform is
+	// the identity — same pushes, same deliveries, same RNG draws — so the
+	// two are charge-equivalent; TreeTotals just skips materializing
+	// per-node potentials nobody reads.
+	TreeTotals(trees []*graph.Tree, leaf func(t int, v graph.NodeID) float64) ([]float64, error)
 }
 
 // fsum is float64 summation over bit-packed words.
@@ -84,12 +98,22 @@ func fsum(a, b congest.Word) congest.Word {
 // by every numerical aggregation in the solver.
 var FloatSum = partwise.AggSpec{Name: "fsum", Fn: fsum, Identity: congest.FloatWord(0)}
 
-// CongestComm implements Comm on the CONGEST engine.
+// CongestComm implements Comm on the CONGEST engine. Like the engine it
+// wraps, a comm is request-private and single-goroutine, so the pooled
+// buffers below (MatVec output, sweep potentials, per-call tree lists) are
+// reused across iterations without synchronization; none of them carries
+// information between calls.
 type CongestComm struct {
 	nw    *congest.Network
 	naive bool
 
 	globalTree *graph.Tree
+
+	mvY      []float64      // MatVecLaplacian output (pooled)
+	gsTrees  []*graph.Tree  // GlobalSums per-call tree list (pooled)
+	udOut    [][]float64    // TreeUpDown row views (pooled)
+	udArena  []float64      // TreeUpDown dense potentials, k·n (pooled)
+	rootVals []congest.Word // per-call downward seeds (pooled)
 }
 
 var _ Comm = (*CongestComm)(nil)
@@ -157,20 +181,30 @@ func (c *CongestComm) Network() *congest.Network { return c.nw }
 func (c *CongestComm) GlobalTree() *graph.Tree { return c.globalTree }
 
 // MatVecLaplacian implements Comm: one exchange round in which every node
-// sends its x value to each neighbor and accumulates w·(x_v − x_u).
+// sends its x value to each neighbor and accumulates w·(x_v − x_u). Edge
+// weights come from the engine's CSR topology (a flat array lookup per
+// received word) and the output vector is pooled — valid until the next
+// MatVecLaplacian on this comm.
 func (c *CongestComm) MatVecLaplacian(x []float64) ([]float64, error) {
 	g := c.nw.Graph()
 	if len(x) != g.N() {
 		return nil, fmt.Errorf("core: x has %d entries for n=%d", len(x), g.N())
 	}
-	y := make([]float64, len(x))
+	if cap(c.mvY) < len(x) {
+		c.mvY = make([]float64, len(x))
+	}
+	y := c.mvY[:len(x)]
+	for i := range y {
+		y[i] = 0
+	}
+	ew := c.nw.Topology().EdgeW
 	c.nw.Exchange(
 		func(v graph.NodeID, h graph.Half) (congest.Word, bool) {
 			return congest.FloatWord(x[v]), true
 		},
 		func(v graph.NodeID, h graph.Half, w congest.Word) {
 			xu := congest.WordFloat(w)
-			y[v] += float64(g.Edge(h.Edge).Weight) * (x[v] - xu)
+			y[v] += ew[h.Edge] * (x[v] - xu)
 		},
 	)
 	return y, nil
@@ -182,10 +216,7 @@ func (c *CongestComm) GlobalSums(vecs ...[]float64) ([]float64, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
-	trees := make([]*graph.Tree, len(vecs))
-	for i := range trees {
-		trees[i] = c.globalTree
-	}
+	trees := c.treeList(len(vecs))
 	out, err := c.nw.AggregateMany(trees, func(t int, v graph.NodeID) congest.Word {
 		return congest.FloatWord(vecs[t][v])
 	}, fsum)
@@ -197,6 +228,18 @@ func (c *CongestComm) GlobalSums(vecs ...[]float64) ([]float64, error) {
 		sums[i] = congest.WordFloat(w)
 	}
 	return sums, nil
+}
+
+// treeList returns a pooled k-element slice of the global tree.
+func (c *CongestComm) treeList(k int) []*graph.Tree {
+	if cap(c.gsTrees) < k {
+		c.gsTrees = make([]*graph.Tree, k)
+	}
+	trees := c.gsTrees[:k]
+	for i := range trees {
+		trees[i] = c.globalTree
+	}
+	return trees
 }
 
 // ClusterTrees implements Comm. Universal mode: a BFS tree inside each
@@ -280,12 +323,14 @@ func steinerTreeOfGlobal(g *graph.Graph, global *graph.Tree, terminals []graph.N
 }
 
 // TreeUpDown implements Comm via the engine's concurrent sweep primitives.
+// The returned rows are dense, pooled views (see the interface contract):
+// entries outside trees[t].Members are stale scratch.
 func (c *CongestComm) TreeUpDown(
 	trees []*graph.Tree,
 	leaf func(t int, v graph.NodeID) float64,
 	rootVal func(t int, total float64) float64,
 	down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
-) ([]map[graph.NodeID]float64, error) {
+) ([][]float64, error) {
 	roots, sub, err := c.nw.ConvergecastAll(trees,
 		func(t int, v graph.NodeID) congest.Word {
 			return congest.FloatWord(leaf(t, v))
@@ -293,13 +338,25 @@ func (c *CongestComm) TreeUpDown(
 	if err != nil {
 		return nil, err
 	}
-	rootVals := make([]congest.Word, len(trees))
+	k := len(trees)
+	if cap(c.rootVals) < k {
+		c.rootVals = make([]congest.Word, k)
+	}
+	rootVals := c.rootVals[:k]
 	for t := range trees {
 		rootVals[t] = congest.FloatWord(rootVal(t, congest.WordFloat(roots[t])))
 	}
-	out := make([]map[graph.NodeID]float64, len(trees))
-	for t, tr := range trees {
-		out[t] = make(map[graph.NodeID]float64, len(tr.Members))
+	n := c.nw.Graph().N()
+	if cap(c.udArena) < k*n {
+		c.udArena = make([]float64, k*n)
+	}
+	if cap(c.udOut) < k {
+		c.udOut = make([][]float64, k)
+	}
+	arena := c.udArena[:k*n]
+	out := c.udOut[:k]
+	for t := range out {
+		out[t] = arena[t*n : (t+1)*n]
 	}
 	err = c.nw.DownSweepMany(trees, rootVals,
 		func(t int, parent, child graph.NodeID, parentVal congest.Word) congest.Word {
@@ -316,6 +373,27 @@ func (c *CongestComm) TreeUpDown(
 	return out, nil
 }
 
+// TreeTotals implements Comm: one convergecast plus one broadcast per tree,
+// charge-equivalent to an identity-transform TreeUpDown (the engine moves
+// the same words over the same schedule; only the unread per-node
+// materialization is skipped).
+func (c *CongestComm) TreeTotals(
+	trees []*graph.Tree,
+	leaf func(t int, v graph.NodeID) float64,
+) ([]float64, error) {
+	out, err := c.nw.AggregateMany(trees, func(t int, v graph.NodeID) congest.Word {
+		return congest.FloatWord(leaf(t, v))
+	}, fsum)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]float64, len(out))
+	for t, w := range out {
+		totals[t] = congest.WordFloat(w)
+	}
+	return totals, nil
+}
+
 // HybridComm implements Comm for the HYBRID model (Theorem 3): local
 // operations (MatVec, cluster sweeps) run on the CONGEST engine; global
 // aggregation runs on the NCC engine in O(log n) rounds regardless of
@@ -324,6 +402,12 @@ func (c *CongestComm) TreeUpDown(
 type HybridComm struct {
 	local  *CongestComm
 	global *ncc.Network
+
+	// Cached whole-graph identity aggregation instance for GlobalSums: the
+	// identity part is built once and shared by every vector slot; the
+	// per-slot value buffers are pooled. All request-private, like the comm.
+	gsIdent []graph.NodeID
+	gsInst  partwise.Instance
 }
 
 var _ Comm = (*HybridComm)(nil)
@@ -371,22 +455,33 @@ func (h *HybridComm) MatVecLaplacian(x []float64) ([]float64, error) {
 }
 
 // GlobalSums implements Comm via one NCC aggregation with one whole-graph
-// part per vector (Lemma 26 with p = len(vecs)).
+// part per vector (Lemma 26 with p = len(vecs)). The identity parts and
+// value buffers are pooled on the comm, so a steady-state reduction
+// allocates only its small result slice.
 func (h *HybridComm) GlobalSums(vecs ...[]float64) ([]float64, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
 	n := h.Graph().N()
-	inst := &partwise.Instance{}
-	for _, vec := range vecs {
-		part := make([]graph.NodeID, n)
-		vals := make([]congest.Word, n)
+	if len(h.gsIdent) != n {
+		h.gsIdent = make([]graph.NodeID, n)
 		for v := 0; v < n; v++ {
-			part[v] = v
+			h.gsIdent[v] = v
+		}
+		h.gsInst = partwise.Instance{}
+	}
+	inst := &h.gsInst
+	for len(inst.Parts) < len(vecs) {
+		inst.Parts = append(inst.Parts, h.gsIdent)
+		inst.Values = append(inst.Values, make([]congest.Word, n))
+	}
+	inst.Parts = inst.Parts[:len(vecs)]
+	inst.Values = inst.Values[:len(vecs)]
+	for i, vec := range vecs {
+		vals := inst.Values[i]
+		for v := 0; v < n; v++ {
 			vals[v] = congest.FloatWord(vec[v])
 		}
-		inst.Parts = append(inst.Parts, part)
-		inst.Values = append(inst.Values, vals)
 	}
 	out, err := h.global.Aggregate(inst, FloatSum)
 	if err != nil {
@@ -410,6 +505,14 @@ func (h *HybridComm) TreeUpDown(
 	leaf func(t int, v graph.NodeID) float64,
 	rootVal func(t int, total float64) float64,
 	down func(t int, parent, child graph.NodeID, parentVal, childSubtree float64) float64,
-) ([]map[graph.NodeID]float64, error) {
+) ([][]float64, error) {
 	return h.local.TreeUpDown(trees, leaf, rootVal, down)
+}
+
+// TreeTotals implements Comm (local edges).
+func (h *HybridComm) TreeTotals(
+	trees []*graph.Tree,
+	leaf func(t int, v graph.NodeID) float64,
+) ([]float64, error) {
+	return h.local.TreeTotals(trees, leaf)
 }

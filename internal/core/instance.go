@@ -33,6 +33,7 @@ type Instance struct {
 	hybrid    bool
 	supported bool
 	tree      *graph.Tree
+	csr       *graph.CSR     // flat topology shared by every request engine
 	pre       Preconditioner // nil for Chebyshev instances
 
 	cheb   bool
@@ -97,6 +98,7 @@ func PrepareInstance(ctx context.Context, g *graph.Graph, cfg PrepareConfig) (in
 	}
 	in = &Instance{
 		g:      g,
+		csr:    graph.BuildCSR(g),
 		mode:   mode,
 		seed:   cfg.Seed,
 		tol:    tol,
@@ -204,6 +206,7 @@ func (in *Instance) SetupMetrics() Metrics { return in.setup }
 func (in *Instance) Comm(req Request) Comm {
 	nw := congest.NewNetwork(in.g, congest.Options{
 		Supported: in.supported,
+		Topology:  in.csr,
 		Seed:      req.Seed,
 		Trace:     simtrace.OrNop(req.Trace),
 		Cancel:    req.Cancel,
@@ -224,6 +227,7 @@ func (in *Instance) Comm(req Request) Comm {
 func (in *Instance) Network(req Request) *congest.Network {
 	return congest.NewNetwork(in.g, congest.Options{
 		Supported: true,
+		Topology:  in.csr,
 		Seed:      req.Seed,
 		Trace:     simtrace.OrNop(req.Trace),
 		Cancel:    req.Cancel,
@@ -281,13 +285,13 @@ func (in *Instance) SizeBytes() int64 {
 	bytes += treeSizeBytes(in.tree)
 	if sp, ok := in.pre.(*SchwarzPrecond); ok {
 		for _, cl := range sp.clusters {
-			bytes += int64(len(cl)) * ptrSize
+			// Node list plus the membership structure's per-member share
+			// (the same estimate the historical per-cluster member maps
+			// reported, so cached-size accounting is unchanged).
+			bytes += int64(len(cl)) * (ptrSize + mapEntry)
 		}
 		for _, t := range sp.trees {
 			bytes += treeSizeBytes(t)
-		}
-		for _, mm := range sp.members {
-			bytes += int64(len(mm)) * mapEntry
 		}
 		bytes += 2 * n * 8 // count + invDeg
 	}

@@ -140,10 +140,9 @@ func (p *TreePrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The tree spans every node, so the whole dense row is defined.
 	z := make([]float64, g.N())
-	for v, y := range pots[0] { //distlint:allow maporder pure scatter: each key writes its own distinct slot exactly once
-		z[v] = y
-	}
+	copy(z, pots[0])
 	linalg.CenterMean(z)
 	return z, nil
 }
@@ -160,10 +159,17 @@ type SchwarzPrecond struct {
 	Method     string // cover generator: "" / "random" | "mpx"
 
 	clusters [][]graph.NodeID
-	members  []map[graph.NodeID]bool
+	member   []bool // flat k×n cluster membership: member[t*n+v]
+	n        int
 	trees    []*graph.Tree
 	count    []float64 // per node: #clusters containing it
 	invDeg   []float64 // Jacobi smoothing term (see Apply)
+}
+
+// inCluster reports whether v belongs to cluster t (flat array probe; the
+// hot test of every leaf callback in Apply).
+func (p *SchwarzPrecond) inCluster(t int, v graph.NodeID) bool {
+	return p.member[t*p.n+v]
 }
 
 var _ Preconditioner = (*SchwarzPrecond)(nil)
@@ -220,12 +226,12 @@ func (p *SchwarzPrecond) Setup(c Comm) error {
 		return err
 	}
 	p.trees = trees
-	p.members = make([]map[graph.NodeID]bool, len(p.clusters))
+	p.n = n
+	p.member = make([]bool, len(p.clusters)*n)
 	p.count = make([]float64, n)
 	for i, cl := range p.clusters {
-		p.members[i] = make(map[graph.NodeID]bool, len(cl))
 		for _, v := range cl {
-			p.members[i][v] = true
+			p.member[i*n+v] = true
 			p.count[v]++
 		}
 	}
@@ -258,30 +264,30 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	tr := c.Tracer()
 	// Restrict-and-center the residual per cluster so each local system is
 	// solvable: leaf value = r(v) − mean_cluster(r) for members, 0 for
-	// relay nodes (naive-mode Steiner trees contain relays).
+	// relay nodes (naive-mode Steiner trees contain relays). Only the root
+	// totals are needed, so this is a TreeTotals — charge-equivalent to the
+	// identity-transform TreeUpDown it replaces.
 	tr.Begin("restrict")
-	clusterSum, err := c.TreeUpDown(p.trees,
+	clusterSum, err := c.TreeTotals(p.trees,
 		func(t int, v graph.NodeID) float64 {
-			if p.members[t][v] {
+			if p.inCluster(t, v) {
 				return r[v]
 			}
 			return 0
 		},
-		func(_ int, total float64) float64 { return total },
-		func(_ int, _, _ graph.NodeID, parentVal, _ float64) float64 { return parentVal },
 	)
 	tr.End("restrict")
 	if err != nil {
 		return nil, err
 	}
 	means := make([]float64, len(p.trees))
-	for t, tr := range p.trees {
-		means[t] = clusterSum[t][tr.Root] / float64(len(p.clusters[t]))
+	for t := range p.trees {
+		means[t] = clusterSum[t] / float64(len(p.clusters[t]))
 	}
 	tr.Begin("sweep")
 	pots, err := c.TreeUpDown(p.trees,
 		func(t int, v graph.NodeID) float64 {
-			if p.members[t][v] {
+			if p.inCluster(t, v) {
 				return r[v] - means[t]
 			}
 			return 0
@@ -298,28 +304,29 @@ func (p *SchwarzPrecond) Apply(c Comm, r []float64) ([]float64, error) {
 	}
 	// Center each cluster's potentials over its members. The member
 	// potential sums travel through one more (charged) up-and-broadcast
-	// sweep so every member learns its cluster's mean.
+	// sweep so every member learns its cluster's mean. pots stays valid
+	// across it: TreeTotals runs on the engine's aggregation pools, not the
+	// comm's sweep buffer (the Comm retention contract).
 	tr.Begin("center")
-	potSum, err := c.TreeUpDown(p.trees,
+	potSum, err := c.TreeTotals(p.trees,
 		func(t int, v graph.NodeID) float64 {
-			if p.members[t][v] {
+			if p.inCluster(t, v) {
 				return pots[t][v]
 			}
 			return 0
 		},
-		func(_ int, total float64) float64 { return total },
-		func(_ int, _, _ graph.NodeID, parentVal, _ float64) float64 { return parentVal },
 	)
 	tr.End("center")
 	if err != nil {
 		return nil, err
 	}
 	z := make([]float64, g.N())
-	for t, tr := range p.trees {
-		mean := potSum[t][tr.Root] / float64(len(p.clusters[t]))
-		for v, y := range pots[t] { //distlint:allow maporder pure scatter: each key updates its own distinct slot exactly once per tree
-			if p.members[t][v] {
-				z[v] += (y - mean) / p.count[v]
+	for t, tree := range p.trees {
+		mean := potSum[t] / float64(len(p.clusters[t]))
+		row := pots[t]
+		for _, v := range tree.Members {
+			if p.inCluster(t, v) {
+				z[v] += (row[v] - mean) / p.count[v]
 			}
 		}
 	}

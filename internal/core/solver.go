@@ -160,8 +160,14 @@ func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, er
 		return nil, err
 	}
 	p := linalg.Copy(z)
+	// Iteration scratch, allocated once per solve and reused every
+	// iteration: the dot-product operand and the batched-reduction pair.
+	// bsq is dead after the norm setup above, so it doubles as prod.
+	prod := bsq
+	rr := make([]float64, n)
+	rzv := make([]float64, n)
 	tr.Begin("reduce")
-	rz, err := dotVia(c, r, z)
+	rz, err := dotVia(c, prod, r, z)
 	tr.End("reduce")
 	if err != nil {
 		return nil, err
@@ -179,7 +185,7 @@ func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, er
 			return nil, err
 		}
 		tr.Begin("reduce")
-		plp, err := dotVia(c, p, lp)
+		plp, err := dotVia(c, prod, p, lp)
 		tr.End("reduce")
 		if err != nil {
 			return nil, err
@@ -200,8 +206,6 @@ func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, er
 		}
 		// Batch the two reductions of the tail of the iteration into one
 		// pipelined aggregation.
-		rr := make([]float64, n)
-		rzv := make([]float64, n)
 		for i := range r {
 			rr[i] = r[i] * r[i]
 			rzv[i] = r[i] * z[i]
@@ -255,12 +259,10 @@ func iterate(c Comm, b []float64, pre Preconditioner, opts Options) (*Result, er
 	return nil, fmt.Errorf("%w after %d iterations", linalg.ErrNoConverge, maxIter)
 }
 
-// dotVia computes a global inner product through the comm.
-func dotVia(c Comm, a, b []float64) (float64, error) {
-	prod := make([]float64, len(a))
-	for i := range a {
-		prod[i] = a[i] * b[i]
-	}
+// dotVia computes a global inner product through the comm, building the
+// elementwise product in the caller's scratch buffer (no allocation).
+func dotVia(c Comm, prod, a, b []float64) (float64, error) {
+	linalg.MulInto(prod, a, b)
 	sums, err := c.GlobalSums(prod)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,138 @@
+package graph_test
+
+import (
+	"fmt"
+	"testing"
+
+	"distlap/internal/graph"
+	"distlap/internal/seedderive"
+)
+
+// TestCSRParityRandom is the CSR-vs-map kernel parity guard: on random
+// graphs drawn from seedderive streams, every flat view of the CSR must
+// reproduce, bit for bit and in the same order, what walking the Graph's
+// own structures produces. Gated metrics and floating-point sums both rest
+// on these orders, so any divergence here is a determinism bug, not a
+// perf tradeoff.
+func TestCSRParityRandom(t *testing.T) {
+	const base = int64(0xC52)
+	for i := int64(0); i < 8; i++ {
+		seed := seedderive.Derive(base, "csr-parity", i)
+		n := 40 + int(i)*37
+		g := graph.RandomConnected(n, n/2, 16, seed)
+		c := graph.BuildCSR(g)
+
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("seed %d: CSR is %d nodes/%d edges, graph is %d/%d",
+				seed, c.N(), c.M(), g.N(), g.M())
+		}
+
+		// Adjacency view: half-edges in exactly Neighbors order.
+		pos := 0
+		for v := 0; v < g.N(); v++ {
+			if int(c.RowStart[v]) != pos {
+				t.Fatalf("seed %d: RowStart[%d]=%d, want %d", seed, v, c.RowStart[v], pos)
+			}
+			if c.Degree(v) != len(g.Neighbors(v)) {
+				t.Fatalf("seed %d: Degree(%d)=%d, want %d", seed, v, c.Degree(v), len(g.Neighbors(v)))
+			}
+			for _, h := range g.Neighbors(v) {
+				if int(c.HalfTo[pos]) != h.To || int(c.HalfEdge[pos]) != h.Edge {
+					t.Fatalf("seed %d: half %d is (to=%d,edge=%d), want (%d,%d)",
+						seed, pos, c.HalfTo[pos], c.HalfEdge[pos], h.To, h.Edge)
+				}
+				if c.HalfW[pos] != float64(g.Edge(h.Edge).Weight) {
+					t.Fatalf("seed %d: half %d weight %v, want %v",
+						seed, pos, c.HalfW[pos], g.Edge(h.Edge).Weight)
+				}
+				pos++
+			}
+		}
+		if int(c.RowStart[g.N()]) != pos || pos != 2*g.M() {
+			t.Fatalf("seed %d: adjacency view covers %d half-edges, want %d", seed, pos, 2*g.M())
+		}
+
+		// Edge view: the edge list in EdgeID order.
+		for id, e := range g.EdgeList() {
+			if int(c.EdgeU[id]) != e.U || int(c.EdgeV[id]) != e.V || c.EdgeW[id] != float64(e.Weight) {
+				t.Fatalf("seed %d: edge %d is (%d,%d,%v), want (%d,%d,%v)",
+					seed, id, c.EdgeU[id], c.EdgeV[id], c.EdgeW[id], e.U, e.V, e.Weight)
+			}
+		}
+
+		// Weighted degrees: bit-identical to EdgeID-order accumulation over
+		// the graph's own edge list (the order linalg.Degrees historically
+		// used).
+		wdeg := make([]float64, g.N())
+		for _, e := range g.EdgeList() {
+			w := float64(e.Weight)
+			wdeg[e.U] += w
+			wdeg[e.V] += w
+		}
+		for v := range wdeg {
+			if c.WDeg[v] != wdeg[v] {
+				t.Fatalf("seed %d: WDeg[%d]=%v, want %v (bitwise)", seed, v, c.WDeg[v], wdeg[v])
+			}
+		}
+	}
+}
+
+// TestCSRMatVecParity checks that the edge-order CSR Laplacian apply is
+// bit-identical to the same accumulation over Graph.EdgeList — the flat
+// kernel and the map-era kernel share one summation order by construction.
+func TestCSRMatVecParity(t *testing.T) {
+	for i := int64(0); i < 4; i++ {
+		seed := seedderive.Derive(0xC52, "csr-matvec", i)
+		g := graph.RandomConnected(60+int(i)*25, 30, 9, seed)
+		c := graph.BuildCSR(g)
+		x := make([]float64, g.N())
+		for v := range x {
+			x[v] = float64((v*7919)%101) / 13.0
+		}
+
+		yCSR := make([]float64, g.N())
+		for e := range c.EdgeW {
+			d := c.EdgeW[e] * (x[c.EdgeU[e]] - x[c.EdgeV[e]])
+			yCSR[c.EdgeU[e]] += d
+			yCSR[c.EdgeV[e]] -= d
+		}
+		yMap := make([]float64, g.N())
+		for _, e := range g.EdgeList() {
+			d := float64(e.Weight) * (x[e.U] - x[e.V])
+			yMap[e.U] += d
+			yMap[e.V] -= d
+		}
+		for v := range yCSR {
+			if yCSR[v] != yMap[v] {
+				t.Fatalf("seed %d: L·x diverges at node %d: CSR %v, edge-walk %v", seed, v, yCSR[v], yMap[v])
+			}
+		}
+	}
+}
+
+// ExampleBuildCSR shows the two flat views a CSR carries: the
+// adjacency-order half-edge rows and the EdgeID-order edge arrays.
+func ExampleBuildCSR() {
+	g := graph.Path(4) // 0-1-2-3, unit weights
+	c := graph.BuildCSR(g)
+
+	fmt.Println("n =", c.N(), "m =", c.M())
+	for v := 0; v < c.N(); v++ {
+		row := c.HalfTo[c.RowStart[v]:c.RowStart[v+1]]
+		fmt.Printf("neighbors of %d: %v\n", v, row)
+	}
+	for e := 0; e < c.M(); e++ {
+		fmt.Printf("edge %d: (%d,%d) w=%g\n", e, c.EdgeU[e], c.EdgeV[e], c.EdgeW[e])
+	}
+	fmt.Println("weighted degrees:", c.WDeg)
+	// Output:
+	// n = 4 m = 3
+	// neighbors of 0: [1]
+	// neighbors of 1: [0 2]
+	// neighbors of 2: [1 3]
+	// neighbors of 3: [2]
+	// edge 0: (0,1) w=1
+	// edge 1: (1,2) w=1
+	// edge 2: (2,3) w=1
+	// weighted degrees: [1 2 2 1]
+}

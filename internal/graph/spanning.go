@@ -58,36 +58,63 @@ func BFSTree(g *Graph, root NodeID) *Tree {
 // member nodes and the extra edges listed in extraEdges (which may leave the
 // induced subgraph's edge set but must join member nodes), rooted at root.
 // This is exactly the structure Proposition 6 aggregates over: G[P_i] ∪ H_i.
+//
+// The construction is entirely flat (stamp arrays and a count-then-fill
+// restricted adjacency, no maps), Θ(n + m + Σ deg(member)) time; the BFS
+// visits half-edges in edge-first-seen order — the order the historical
+// map-based builder appended them in — so the returned tree is
+// bit-identical to what that builder produced for every input.
 func BFSTreeOfSubgraph(g *Graph, members []NodeID, extraEdges []EdgeID, root NodeID) *Tree {
-	in := make(map[NodeID]bool, len(members))
+	n := g.N()
+	in := make([]bool, n)
 	for _, v := range members {
 		in[v] = true
 	}
-	// Build adjacency restricted to members over induced + extra edges.
-	adj := make(map[NodeID][]Half, len(members))
-	addEdge := func(id EdgeID) {
-		e := g.Edge(id)
-		if in[e.U] && in[e.V] {
-			adj[e.U] = append(adj[e.U], Half{To: e.V, Edge: id})
-			adj[e.V] = append(adj[e.V], Half{To: e.U, Edge: id})
-		}
-	}
-	seenEdge := make(map[EdgeID]bool)
+	// Collect the restricted edge set in first-seen order: induced edges in
+	// (member-scan, neighbor-scan) order, then the extra edges. The order
+	// matters — it fixes which parent a BFS tie resolves to.
+	seen := make([]bool, g.M())
+	edges := make([]EdgeID, 0, len(members)*2)
 	for _, v := range members {
 		for _, h := range g.Neighbors(v) {
-			if in[h.To] && !seenEdge[h.Edge] {
-				seenEdge[h.Edge] = true
-				addEdge(h.Edge)
+			if in[h.To] && !seen[h.Edge] {
+				seen[h.Edge] = true
+				edges = append(edges, h.Edge)
 			}
 		}
 	}
 	for _, id := range extraEdges {
-		if !seenEdge[id] {
-			seenEdge[id] = true
-			addEdge(id)
+		if !seen[id] {
+			seen[id] = true
+			e := g.Edge(id)
+			if in[e.U] && in[e.V] {
+				edges = append(edges, id)
+			}
 		}
 	}
-	n := g.N()
+	// Restricted adjacency as a CSR: count, prefix-sum, fill. Filling in
+	// edge order keeps each node's half-edges in the same relative order a
+	// per-edge append would have produced.
+	start := make([]int32, n+1)
+	for _, id := range edges {
+		e := g.Edge(id)
+		start[e.U+1]++
+		start[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		start[v+1] += start[v]
+	}
+	next := make([]int32, n)
+	copy(next, start[:n])
+	halfTo := make([]int32, 2*len(edges))
+	halfEdge := make([]int32, 2*len(edges))
+	for _, id := range edges {
+		e := g.Edge(id)
+		halfTo[next[e.U]], halfEdge[next[e.U]] = int32(e.V), int32(id)
+		next[e.U]++
+		halfTo[next[e.V]], halfEdge[next[e.V]] = int32(e.U), int32(id)
+		next[e.V]++
+	}
 	t := &Tree{
 		Root:       root,
 		Parent:     make([]NodeID, n),
@@ -100,17 +127,18 @@ func BFSTreeOfSubgraph(g *Graph, members []NodeID, extraEdges []EdgeID, root Nod
 		t.Depth[i] = -1
 	}
 	t.Depth[root] = 0
-	queue := []NodeID{root}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := make([]NodeID, 0, len(members))
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		t.Members = append(t.Members, v)
-		for _, h := range adj[v] {
-			if t.Depth[h.To] == -1 {
-				t.Depth[h.To] = t.Depth[v] + 1
-				t.Parent[h.To] = v
-				t.ParentEdge[h.To] = h.Edge
-				queue = append(queue, h.To)
+		for i := start[v]; i < start[v+1]; i++ {
+			to := NodeID(halfTo[i])
+			if t.Depth[to] == -1 {
+				t.Depth[to] = t.Depth[v] + 1
+				t.Parent[to] = v
+				t.ParentEdge[to] = EdgeID(halfEdge[i])
+				queue = append(queue, to)
 			}
 		}
 	}

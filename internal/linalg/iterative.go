@@ -190,9 +190,8 @@ func Chebyshev(l *Laplacian, b []float64, lo, hi, tol float64, maxIter int) (*PC
 // conservative: lo = 1/(n²·w_max⁻¹-free form) — callers who need tight
 // bounds should estimate them; these are safe defaults for Chebyshev.
 func SpectralBounds(l *Laplacian) (lo, hi float64) {
-	d := l.Degrees()
 	maxDeg := 0.0
-	for _, v := range d {
+	for _, v := range l.CSR().WDeg {
 		if v > maxDeg {
 			maxDeg = v
 		}
@@ -205,8 +204,8 @@ func SpectralBounds(l *Laplacian) (lo, hi float64) {
 	// λ₂ >= 4 / (n * diam_w); diam_w <= n * max resistance-ish. Use the
 	// very safe 1/n² scaling with the minimum edge weight.
 	minW := math.Inf(1)
-	for _, e := range l.G.Edges() {
-		if w := float64(e.Weight); w < minW {
+	for _, w := range l.CSR().EdgeW {
+		if w < minW {
 			minW = w
 		}
 	}

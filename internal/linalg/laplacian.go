@@ -9,38 +9,68 @@ import (
 )
 
 // Laplacian is the operator view of a weighted graph's Laplacian
-// L = D − A. It never materializes the matrix; MatVec streams over edges.
+// L = D − A. It never materializes the matrix; MatVec streams over the
+// graph's flat CSR edge arrays (built once in NewLaplacian), in EdgeID
+// order — the same order the historical per-call edge-copy walked — so
+// results are bit-identical while the steady-state kernels allocate
+// nothing beyond their output vector.
 type Laplacian struct {
-	G *graph.Graph
+	G   *graph.Graph
+	csr *graph.CSR
 }
 
-// NewLaplacian wraps g.
-func NewLaplacian(g *graph.Graph) *Laplacian { return &Laplacian{G: g} }
+// NewLaplacian wraps g, flattening it to CSR form once (Θ(n + m)).
+func NewLaplacian(g *graph.Graph) *Laplacian {
+	return &Laplacian{G: g, csr: graph.BuildCSR(g)}
+}
+
+// CSR exposes the cached flat view (read-only; shared).
+func (l *Laplacian) CSR() *graph.CSR { return l.csr }
 
 // N returns the dimension.
 func (l *Laplacian) N() int { return l.G.N() }
 
-// MatVec computes y = L x.
+// MatVec computes y = L x into a fresh vector. Θ(n + m), edge order.
 func (l *Laplacian) MatVec(x []float64) ([]float64, error) {
-	if len(x) != l.G.N() {
-		return nil, fmt.Errorf("%w: x has %d entries for n=%d", ErrDimension, len(x), l.G.N())
-	}
 	y := make([]float64, len(x))
-	for _, e := range l.G.Edges() {
-		w := float64(e.Weight)
-		d := x[e.U] - x[e.V]
-		y[e.U] += w * d
-		y[e.V] -= w * d
+	if err := l.MatVecInto(y, x); err != nil {
+		return nil, err
 	}
 	return y, nil
 }
 
+// MatVecInto computes y = L x into the caller's buffer (zeroed here), the
+// allocation-free kernel iterative loops use. y must have length n; it is
+// accumulated in EdgeID order, so the float64 result is bit-identical to
+// MatVec's. Θ(n + m).
+func (l *Laplacian) MatVecInto(y, x []float64) error {
+	if len(x) != l.G.N() {
+		return fmt.Errorf("%w: x has %d entries for n=%d", ErrDimension, len(x), l.G.N())
+	}
+	if len(y) != len(x) {
+		return fmt.Errorf("%w: y has %d entries for n=%d", ErrDimension, len(y), len(x))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	c := l.csr
+	for i := range c.EdgeW {
+		u, v := c.EdgeU[i], c.EdgeV[i]
+		d := c.EdgeW[i] * (x[u] - x[v])
+		y[u] += d
+		y[v] -= d
+	}
+	return nil
+}
+
 // Quadratic returns xᵀLx = Σ_e w_e (x_u − x_v)², the Laplacian energy.
+// Edge-order summation; allocation-free.
 func (l *Laplacian) Quadratic(x []float64) float64 {
 	s := 0.0
-	for _, e := range l.G.Edges() {
-		d := x[e.U] - x[e.V]
-		s += float64(e.Weight) * d * d
+	c := l.csr
+	for i := range c.EdgeW {
+		d := x[c.EdgeU[i]] - x[c.EdgeV[i]]
+		s += c.EdgeW[i] * d * d
 	}
 	return s
 }
@@ -49,14 +79,12 @@ func (l *Laplacian) Quadratic(x []float64) float64 {
 // uses.
 func (l *Laplacian) LNorm(x []float64) float64 { return math.Sqrt(l.Quadratic(x)) }
 
-// Degrees returns the weighted degree vector (the diagonal of L).
+// Degrees returns a copy of the weighted degree vector (the diagonal of
+// L). The degrees were accumulated in EdgeID order at CSR build time, so
+// they carry the exact bits per-call accumulation produced.
 func (l *Laplacian) Degrees() []float64 {
-	d := make([]float64, l.G.N())
-	for _, e := range l.G.Edges() {
-		w := float64(e.Weight)
-		d[e.U] += w
-		d[e.V] += w
-	}
+	d := make([]float64, len(l.csr.WDeg))
+	copy(d, l.csr.WDeg)
 	return d
 }
 

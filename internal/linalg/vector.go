@@ -59,13 +59,29 @@ func Copy(x []float64) []float64 {
 	return out
 }
 
-// Sub returns a - b.
+// Sub returns a - b in a fresh vector.
 func Sub(a, b []float64) []float64 {
 	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] - b[i]
-	}
+	SubInto(out, a, b)
 	return out
+}
+
+// SubInto computes dst = a - b into the caller's buffer (dst may alias a
+// or b), the allocation-free form iterative loops use on their pooled
+// scratch vectors. All three slices must share a length.
+func SubInto(dst, a, b []float64) {
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// MulInto computes the elementwise product dst = a ∘ b into the caller's
+// buffer (dst may alias a or b). Used to build the squared/product vectors
+// global reductions consume without per-iteration allocation.
+func MulInto(dst, a, b []float64) {
+	for i := range a {
+		dst[i] = a[i] * b[i]
+	}
 }
 
 // Mean returns the arithmetic mean of x (0 for empty).

@@ -30,18 +30,83 @@ type Message struct {
 	Payload  congest.Word
 }
 
-// Network is an NCC communication network over n nodes.
+// Network is an NCC communication network over n nodes. Like its CONGEST
+// counterpart it is request-private and single-goroutine, so its pooled
+// scratch (scr) carries no information between calls and never affects
+// scheduling — only allocation counts.
 type Network struct {
 	n        int
 	cap      int
 	rounds   int
 	messages int64
 	trace    simtrace.Collector
+	scr      nccScratch
 
 	// Fault-injection state (all zero/nil on reliable networks).
 	faults      *faultinject.Plan
 	fstats      faultinject.Stats
 	crashedSeen map[graph.NodeID]bool
+}
+
+// nccScratch pools the per-call working memory of Deliver and Aggregate so
+// steady-state aggregation rounds allocate nothing. Deliver and Aggregate
+// use disjoint field families (Aggregate calls Deliver while holding its
+// own buffers), and each stamped array has its own epoch counter.
+type nccScratch struct {
+	// Deliver: sender-major message arena (qStart/qLen index per-sender
+	// FIFO regions), the per-round delivered batch, and epoch-stamped
+	// per-receiver load counts.
+	qStart    []int32
+	qLen      []int32
+	arena     []Message
+	delivered []Message
+	recvLoad  []int32
+	recvStamp []uint32
+	recvEpoch uint32
+
+	// Aggregate: per-part sorted member views (aliasing the caller's part
+	// when already sorted, a region of memArena otherwise), positional
+	// accumulators, epoch-stamped node→value scatter state, and the
+	// per-level message/route batches.
+	members  [][]graph.NodeID
+	memArena []graph.NodeID
+	acc      [][]congest.Word
+	accArena []congest.Word
+	valWord  []congest.Word
+	valStamp []uint32
+	valEpoch uint32
+	msgs     []Message
+	routes   []aggRoute
+}
+
+func grownMsgs(buf []Message, n int) []Message {
+	if cap(buf) < n {
+		return make([]Message, n)
+	}
+	return buf[:n]
+}
+
+func grownI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// grownU32 resizes without clearing: stamped users bump their epoch instead,
+// and a fresh zeroed allocation always reads stale because epochs start at 1.
+func grownU32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+func grownWords(buf []congest.Word, n int) []congest.Word {
+	if cap(buf) < n {
+		return make([]congest.Word, n)
+	}
+	return buf[:n]
 }
 
 // ErrNoNodes is returned for empty networks.
@@ -105,38 +170,81 @@ func (nw *Network) Deliver(msgs []Message, recv func(Message)) (int, error) {
 	if nw.faults != nil {
 		return nw.deliverFaulty(msgs, recv)
 	}
-	// FIFO queue per sender.
-	queues := make(map[graph.NodeID][]Message)
-	var senders []graph.NodeID
-	for _, m := range msgs {
-		if len(queues[m.From]) == 0 {
-			senders = append(senders, m.From)
-		}
-		queues[m.From] = append(queues[m.From], m)
+	// Bucket messages sender-major into the pooled arena: count, prefix-sum,
+	// fill in input order. Scanning senders 0..n−1 with FIFO region order is
+	// exactly the sorted-sender, FIFO-per-sender schedule of the historical
+	// map-based implementation, so delivery order — and with it every charge
+	// — is unchanged. The borrowed buffers are parked (nil) while recv
+	// callbacks run so a reentrant Deliver cannot corrupt them.
+	s := &nw.scr
+	qStart := grownI32(s.qStart, nw.n+1)
+	qLen := grownI32(s.qLen, nw.n)
+	arena := grownMsgs(s.arena, len(msgs))
+	delivered := s.delivered[:0]
+	s.qStart, s.qLen, s.arena, s.delivered = nil, nil, nil, nil
+	defer func() {
+		s.qStart, s.qLen, s.arena, s.delivered = qStart, qLen, arena, delivered
+	}()
+	for i := range qLen {
+		qLen[i] = 0
 	}
-	sort.Ints(senders)
+	for _, m := range msgs {
+		qLen[m.From]++
+	}
+	qStart[0] = 0
+	for v := 0; v < nw.n; v++ {
+		qStart[v+1] = qStart[v] + qLen[v]
+	}
+	{
+		fill := qLen // reuse as fill cursors; restored to lengths below
+		for i := range fill {
+			fill[i] = 0
+		}
+		for _, m := range msgs {
+			arena[qStart[m.From]+fill[m.From]] = m
+			fill[m.From]++
+		}
+	}
 	nw.trace.Counter("ncc.sends", int64(len(msgs)))
 	remaining := len(msgs)
 	used := 0
 	for remaining > 0 {
 		used++
-		recvLoad := make(map[graph.NodeID]int)
-		var delivered []Message
-		for _, s := range senders {
-			q := queues[s]
-			sent := 0
-			kept := q[:0]
+		s.recvLoad = grownI32(s.recvLoad, nw.n)
+		s.recvStamp = grownU32(s.recvStamp, nw.n)
+		s.recvEpoch++
+		if s.recvEpoch == 0 {
+			for i := range s.recvStamp {
+				s.recvStamp[i] = 0
+			}
+			s.recvEpoch = 1
+		}
+		epoch := s.recvEpoch
+		delivered = delivered[:0]
+		for v := 0; v < nw.n; v++ {
+			l := qLen[v]
+			if l == 0 {
+				continue
+			}
+			q := arena[qStart[v] : qStart[v]+l]
+			sent := int32(0)
+			kept := int32(0)
 			for _, m := range q {
-				if sent < nw.cap && recvLoad[m.To] < nw.cap {
-					recvLoad[m.To]++
+				if s.recvStamp[m.To] != epoch {
+					s.recvStamp[m.To] = epoch
+					s.recvLoad[m.To] = 0
+				}
+				if int(sent) < nw.cap && int(s.recvLoad[m.To]) < nw.cap {
+					s.recvLoad[m.To]++
 					sent++
 					delivered = append(delivered, m)
 					remaining--
 				} else {
-					kept = append(kept, m)
+					q[kept] = m
+					kept++
 				}
 			}
-			queues[s] = append([]Message(nil), kept...)
+			qLen[v] = kept
 		}
 		if len(delivered) == 0 {
 			nw.rounds++

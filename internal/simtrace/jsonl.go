@@ -130,16 +130,17 @@ func (j *JSONL) Rounds(engine string, n int) {
 	j.emitSeries(engine, n)
 }
 
-// Messages implements Collector: tracks the cumulative message count and the
-// running max edge load the series records report.
+// Messages implements Collector: for series sinks it additionally tracks the
+// cumulative message count and the running max edge load the series records
+// report (read only at round boundaries and Flush, so plain sinks skip it).
 func (j *JSONL) Messages(engine string, dirEdge int, n int64) {
 	j.InMemory.Messages(engine, dirEdge, n)
-	if n <= 0 {
+	if !j.series || n <= 0 {
 		return
 	}
 	j.totalMsgs += n
 	if dirEdge >= 0 {
-		if l := j.edges[engine][dirEdge]; l > j.maxLoad {
+		if l := j.edgeLoad(engine, dirEdge); l > j.maxLoad {
 			j.maxLoad = l
 		}
 	}

@@ -62,17 +62,51 @@ type frame struct {
 	messages int64
 }
 
+// loadArr is a dense per-id word accumulator (directed-edge or node loads):
+// a flat array grown on demand, where a zero entry means "never charged"
+// (every charge is positive, so zero is unambiguous).
+type loadArr struct{ w []int64 }
+
+func (a *loadArr) add(i int, n int64) {
+	if i >= len(a.w) {
+		if i < cap(a.w) {
+			a.w = a.w[:i+1]
+		} else {
+			grown := make([]int64, i+1, 2*(i+1))
+			copy(grown, a.w)
+			a.w = grown
+		}
+	}
+	a.w[i] += n
+}
+
 // InMemory aggregates trace events into queryable summaries. It is the
 // workhorse sink for tests and benchmarks and the aggregation core of the
 // JSONL sink. The zero value is not usable; call NewInMemory.
+//
+// The charge methods (Rounds, Messages, NodeWords) are on the hot path of
+// every traced replay — two calls per delivered word — so their state is
+// laid out for constant-time updates: the innermost phase stat is cached
+// between Begin/End transitions, per-engine structures are cached behind a
+// one-entry name check (the engine label rarely changes between charges),
+// and per-edge/per-node loads are flat arrays indexed by id rather than
+// maps.
 type InMemory struct {
 	stack    []frame
 	stats    map[string]*PhaseStat
+	cur      *PhaseStat // stat of the innermost open path; nil until first untracked charge
 	counters map[string]int64
 	engines  map[string]*EngineTotal
-	edges    map[string]map[int]int64 // engine -> dirEdge -> words
-	nodes    map[string]map[int]int64 // engine -> node -> words
+	edges    map[string]*loadArr      // engine -> directed-edge loads
+	nodes    map[string]*loadArr      // engine -> node loads
 	gauges   map[string][]GaugeSample // series name -> samples in emission order
+
+	lastEngName string
+	lastEng     *EngineTotal
+	lastEdgeEng string
+	lastEdges   *loadArr
+	lastNodeEng string
+	lastNodes   *loadArr
 }
 
 var _ Collector = (*InMemory)(nil)
@@ -84,8 +118,8 @@ func NewInMemory() *InMemory {
 		stats:    make(map[string]*PhaseStat),
 		counters: make(map[string]int64),
 		engines:  make(map[string]*EngineTotal),
-		edges:    make(map[string]map[int]int64),
-		nodes:    make(map[string]map[int]int64),
+		edges:    make(map[string]*loadArr),
+		nodes:    make(map[string]*loadArr),
 		gauges:   make(map[string][]GaugeSample),
 	}
 }
@@ -114,7 +148,9 @@ func (m *InMemory) Begin(name string) {
 		p = parent + "/" + name
 	}
 	m.stack = append(m.stack, frame{name: name, path: p})
-	m.stat(p).Count++
+	st := m.stat(p)
+	st.Count++
+	m.cur = st
 }
 
 // End implements Collector. An End with no open span is ignored (the
@@ -124,6 +160,18 @@ func (m *InMemory) End(name string) {
 		return
 	}
 	m.stack = m.stack[:len(m.stack)-1]
+	// May be nil when the stack empties and "" was never charged; curStat
+	// re-creates it lazily so the untracked bucket appears only if used.
+	m.cur = m.stats[m.path()]
+}
+
+// curStat returns the stat of the innermost open path (the cached pointer on
+// the hot path; one lazy lookup after the stack empties).
+func (m *InMemory) curStat() *PhaseStat {
+	if m.cur == nil {
+		m.cur = m.stat(m.path())
+	}
+	return m.cur
 }
 
 // Rounds implements Collector.
@@ -131,7 +179,7 @@ func (m *InMemory) Rounds(engine string, n int) {
 	if n <= 0 {
 		return
 	}
-	m.stat(m.path()).Rounds += n
+	m.curStat().Rounds += n
 	if len(m.stack) > 0 {
 		m.stack[len(m.stack)-1].rounds += n
 	}
@@ -143,18 +191,13 @@ func (m *InMemory) Messages(engine string, dirEdge int, n int64) {
 	if n <= 0 {
 		return
 	}
-	m.stat(m.path()).Messages += n
+	m.curStat().Messages += n
 	if len(m.stack) > 0 {
 		m.stack[len(m.stack)-1].messages += n
 	}
 	m.engine(engine).Messages += n
 	if dirEdge >= 0 {
-		byEdge := m.edges[engine]
-		if byEdge == nil {
-			byEdge = make(map[int]int64)
-			m.edges[engine] = byEdge
-		}
-		byEdge[dirEdge] += n
+		m.edgeArr(engine).add(dirEdge, n)
 	}
 }
 
@@ -163,17 +206,48 @@ func (m *InMemory) NodeWords(engine string, from, to int, n int64) {
 	if n <= 0 {
 		return
 	}
-	byNode := m.nodes[engine]
-	if byNode == nil {
-		byNode = make(map[int]int64)
-		m.nodes[engine] = byNode
-	}
+	byNode := m.nodeArr(engine)
 	if from >= 0 {
-		byNode[from] += n
+		byNode.add(from, n)
 	}
 	if to >= 0 {
-		byNode[to] += n
+		byNode.add(to, n)
 	}
+}
+
+func (m *InMemory) edgeArr(engine string) *loadArr {
+	if engine == m.lastEdgeEng && m.lastEdges != nil {
+		return m.lastEdges
+	}
+	a := m.edges[engine]
+	if a == nil {
+		a = &loadArr{}
+		m.edges[engine] = a
+	}
+	m.lastEdgeEng, m.lastEdges = engine, a
+	return a
+}
+
+func (m *InMemory) nodeArr(engine string) *loadArr {
+	if engine == m.lastNodeEng && m.lastNodes != nil {
+		return m.lastNodes
+	}
+	a := m.nodes[engine]
+	if a == nil {
+		a = &loadArr{}
+		m.nodes[engine] = a
+	}
+	m.lastNodeEng, m.lastNodes = engine, a
+	return a
+}
+
+// edgeLoad reports the accumulated words on one directed edge (the series
+// sink's running-max probe).
+func (m *InMemory) edgeLoad(engine string, dirEdge int) int64 {
+	if a := m.edges[engine]; a != nil && dirEdge < len(a.w) {
+		return a.w[dirEdge]
+	}
+	return 0
 }
 
 // Counter implements Collector.
@@ -188,11 +262,15 @@ func (m *InMemory) Gauge(name string, step int, value float64, rounds int) {
 func (m *InMemory) Flush() error { return nil }
 
 func (m *InMemory) engine(name string) *EngineTotal {
+	if name == m.lastEngName && m.lastEng != nil {
+		return m.lastEng
+	}
 	e := m.engines[name]
 	if e == nil {
 		e = &EngineTotal{Engine: name}
 		m.engines[name] = e
 	}
+	m.lastEngName, m.lastEng = name, e
 	return e
 }
 
@@ -268,17 +346,16 @@ func (m *InMemory) TotalRounds() int {
 }
 
 // TopEdges returns the k most loaded directed edges of one engine, sorted by
-// descending load with edge id as the deterministic tiebreak.
+// descending load with edge id as the deterministic tiebreak (the flat array
+// is scanned in ascending id order, so the stable sort preserves it).
 func (m *InMemory) TopEdges(engine string, k int) []EdgeLoad {
-	byEdge := m.edges[engine]
-	ids := make([]int, 0, len(byEdge))
-	for de := range byEdge {
-		ids = append(ids, de)
-	}
-	sort.Ints(ids)
-	out := make([]EdgeLoad, 0, len(ids))
-	for _, de := range ids {
-		out = append(out, EdgeLoad{Engine: engine, Edge: de, Words: byEdge[de]})
+	out := []EdgeLoad{}
+	if a := m.edges[engine]; a != nil {
+		for de, w := range a.w {
+			if w != 0 {
+				out = append(out, EdgeLoad{Engine: engine, Edge: de, Words: w})
+			}
+		}
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Words > out[b].Words })
 	if k >= 0 && len(out) > k {
@@ -291,15 +368,13 @@ func (m *InMemory) TopEdges(engine string, k int) []EdgeLoad {
 // buckets: bucket b counts edges with load in (2^(b-1), 2^b]. Returned as
 // (bucket, count) pairs sorted by bucket.
 func (m *InMemory) LoadHistogram(engine string) []EdgeLoad {
-	byEdge := m.edges[engine]
 	buckets := make(map[int]int64)
-	ids := make([]int, 0, len(byEdge))
-	for de := range byEdge {
-		ids = append(ids, de)
-	}
-	sort.Ints(ids)
-	for _, de := range ids {
-		buckets[loadBucket(byEdge[de])]++
+	if a := m.edges[engine]; a != nil {
+		for _, w := range a.w {
+			if w != 0 {
+				buckets[loadBucket(w)]++
+			}
+		}
 	}
 	bs := make([]int, 0, len(buckets))
 	for b := range buckets {
@@ -316,15 +391,13 @@ func (m *InMemory) LoadHistogram(engine string) []EdgeLoad {
 // TopNodes returns the k most loaded nodes of one engine, sorted by
 // descending word count with node id as the deterministic tiebreak.
 func (m *InMemory) TopNodes(engine string, k int) []NodeLoad {
-	byNode := m.nodes[engine]
-	ids := make([]int, 0, len(byNode))
-	for v := range byNode {
-		ids = append(ids, v)
-	}
-	sort.Ints(ids)
-	out := make([]NodeLoad, 0, len(ids))
-	for _, v := range ids {
-		out = append(out, NodeLoad{Engine: engine, Node: v, Words: byNode[v]})
+	out := []NodeLoad{}
+	if a := m.nodes[engine]; a != nil {
+		for v, w := range a.w {
+			if w != 0 {
+				out = append(out, NodeLoad{Engine: engine, Node: v, Words: w})
+			}
+		}
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].Words > out[b].Words })
 	if k >= 0 && len(out) > k {
@@ -338,15 +411,13 @@ func (m *InMemory) TopNodes(engine string, k int) []NodeLoad {
 // (2^(b-1), 2^b]. Returned as (bucket, count) pairs sorted by bucket, with
 // the bucket index carried in Node.
 func (m *InMemory) NodeLoadHistogram(engine string) []NodeLoad {
-	byNode := m.nodes[engine]
 	buckets := make(map[int]int64)
-	ids := make([]int, 0, len(byNode))
-	for v := range byNode {
-		ids = append(ids, v)
-	}
-	sort.Ints(ids)
-	for _, v := range ids {
-		buckets[loadBucket(byNode[v])]++
+	if a := m.nodes[engine]; a != nil {
+		for _, w := range a.w {
+			if w != 0 {
+				buckets[loadBucket(w)]++
+			}
+		}
 	}
 	bs := make([]int, 0, len(buckets))
 	for b := range buckets {
