@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-json race test alloc-check bench bench-smoke bench-compare bench-wall microbench trace-smoke folded-artifact daemon-smoke chaos-smoke
+.PHONY: check build vet lint lint-json race test alloc-check bench bench-smoke bench-compare bench-wall microbench trace-smoke folded-artifact daemon-smoke chaos-smoke metrics-smoke
 
-check: build vet lint test alloc-check trace-smoke daemon-smoke chaos-smoke
+check: build vet lint test alloc-check trace-smoke daemon-smoke chaos-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -41,13 +41,14 @@ alloc-check:
 
 # Focused race-detector pass over the packages sanctioned to run
 # goroutines — the experiments worker pool, the simtrace writer, the
-# distlapd serving layer — plus the root package, whose prepared-Instance
-# concurrency tests hammer one shared instance from parallel solvers;
-# -count=2 shakes out ordering flakes a single run can miss. The goroutine
-# analyzer guarantees concurrency cannot creep in anywhere else, which is
-# what keeps this narrow target a sound whole-repo concurrency gate.
+# distlapd serving layer and its obs metrics registry — plus the root
+# package, whose prepared-Instance concurrency tests hammer one shared
+# instance from parallel solvers; -count=2 shakes out ordering flakes a
+# single run can miss. The goroutine analyzer guarantees concurrency
+# cannot creep in anywhere else, which is what keeps this narrow target a
+# sound whole-repo concurrency gate.
 race:
-	$(GO) test -race -count=2 . ./internal/experiments/... ./internal/simtrace/... ./internal/service/...
+	$(GO) test -race -count=2 . ./internal/experiments/... ./internal/simtrace/... ./internal/service/... ./internal/obs/...
 
 # Suite benchmark: full sweeps through cmd/bench, emitting the
 # machine-readable trajectory file BENCH_local.json (schema in README
@@ -115,6 +116,17 @@ chaos-smoke:
 # between a single solve and batch entry 0's derived-seed replay.
 daemon-smoke:
 	$(GO) run ./cmd/distlapd -selftest
+
+# Serving-metrics smoke test: the same -selftest run also verifies the
+# metric identities (per-endpoint request counters sum to the served
+# total and the status-class counters, latency histogram counts equal
+# per-endpoint request counts, cache hits + misses equal instance
+# lookups) and that the deterministic /metrics section is byte-stable
+# under re-scrape. Kept as its own target so a metrics regression is
+# named in CI output even though the binary run is shared.
+metrics-smoke:
+	$(GO) run ./cmd/distlapd -selftest >/dev/null
+	@echo metrics-smoke: serving-metric identities hold
 
 # Flamegraph folded stacks for the solver experiment: a round-resolved
 # trace of E9b rendered as `path weight` lines (feed into flamegraph.pl or

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	distlapd [-addr :8090] [-cache-bytes 67108864]
+//	distlapd [-addr :8090] [-cache-bytes 67108864] [-access-log PATH] [-debug-addr :8091]
 //	distlapd -selftest
 //
 // The API is JSON over stdlib net/http (see internal/service):
@@ -18,27 +18,49 @@
 //	POST   /v1/graphs/{id}/flow   {"s":0,"t":5}
 //	POST   /v1/graphs/{id}/mst    {}
 //
-// Responses are deterministic: identical requests against daemons started
-// with identical configuration produce byte-identical JSON.
+// Observability (see internal/obs and README "Operating distlapd"):
 //
-// -selftest exercises the full request cycle in-process (no sockets) and
-// exits nonzero on any mismatch; CI runs it as the daemon smoke test.
+//	GET /metrics      Prometheus text; deterministic families above the
+//	                  wall-clock marker, latency/uptime below it
+//	GET /v1/statusz   JSON status: deterministic counters, cache occupancy
+//	                  vs budget, latency quantiles, build info
+//	GET /v1/healthz   liveness + saturation + cache occupancy/evictions
+//
+// -access-log writes one JSON line per served API request ("-" for stderr,
+// otherwise an append-only file); the "id" field matches the X-Request-Id
+// response header. -debug-addr serves net/http/pprof on a second listener
+// that is never exposed on the API address.
+//
+// Responses are deterministic: identical requests against daemons started
+// with identical configuration produce byte-identical JSON, and the
+// deterministic /metrics section is byte-identical across daemons serving
+// the same request sequence.
+//
+// -selftest exercises the full request cycle in-process (no sockets),
+// checks the serving-metrics identities (per-endpoint counters summing to
+// totals, histogram counts matching request counts, cache hits + misses
+// matching instance lookups), and exits nonzero on any mismatch; CI runs
+// it as the daemon smoke test.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"distlap/internal/obs"
 	"distlap/internal/service"
 )
 
@@ -49,20 +71,63 @@ const shutdownGrace = 30 * time.Second
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	cacheBytes := flag.Int64("cache-bytes", service.DefaultCacheBytes, "instance cache budget in bytes")
-	selftest := flag.Bool("selftest", false, "run the in-process request-cycle smoke test and exit")
+	accessLog := flag.String("access-log", "", `access log destination: "" disables, "-" is stderr, anything else appends to that file`)
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof (never exposed on -addr)")
+	selftest := flag.Bool("selftest", false, "run the in-process request-cycle and metrics smoke test and exit")
 	flag.Parse()
 
-	srv := service.New(service.Config{CacheBytes: *cacheBytes})
+	logDst, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeLog()
+
+	srv := service.New(service.Config{CacheBytes: *cacheBytes, AccessLog: logDst})
 	if *selftest {
-		if err := runSelftest(srv.Handler()); err != nil {
+		if err := runSelftest(srv); err != nil {
 			fmt.Fprintln(os.Stderr, "selftest:", err)
 			os.Exit(1)
 		}
 		fmt.Println("distlapd selftest ok")
 		return
 	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 	if err := serve(srv, *addr, *cacheBytes); err != nil {
 		log.Fatal(err)
+	}
+	if err := srv.AccessLogErr(); err != nil {
+		log.Fatalf("distlapd: access log failed mid-run: %v", err)
+	}
+}
+
+// openAccessLog resolves the -access-log flag into a writer plus a close
+// hook: "" disables logging (nil writer — a typed nil would defeat the
+// service's nil check), "-" selects stderr, anything else appends to the
+// named file.
+func openAccessLog(dst string) (w io.Writer, closeFn func(), err error) {
+	switch dst {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("distlapd: access log: %w", err)
+	}
+	return f, func() { _ = f.Close() }, nil
+}
+
+// serveDebug serves net/http/pprof (DefaultServeMux) on its own listener;
+// keeping it off the API address means profiling is opt-in and never
+// reachable from the serving port.
+func serveDebug(addr string) {
+	log.Printf("distlapd: pprof listening on %s", addr)
+	dbg := &http.Server{Addr: addr, ReadHeaderTimeout: 5 * time.Second}
+	if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("distlapd: pprof server: %v", err)
 	}
 }
 
@@ -98,10 +163,12 @@ func serve(srv *service.Server, addr string, cacheBytes int64) error {
 	return nil
 }
 
-// runSelftest drives the whole request cycle against the handler in-process:
-// load → list → solve → batch (checking the single solve is byte-identical
-// to batch entry 0's derivation) → flow → mst → evict → 404.
-func runSelftest(h http.Handler) error {
+// runSelftest drives the whole request cycle against the handler in-process
+// (load → list → solve → batch → flow → mst → evict → 404, checking the
+// single solve is byte-identical to batch entry 0's derivation), then
+// verifies the serving-metrics identities the cycle must have produced.
+func runSelftest(srv *service.Server) error {
+	h := srv.Handler()
 	do := func(method, path, body string) (int, []byte) {
 		req := httptest.NewRequest(method, path, bytes.NewBufferString(body))
 		rec := httptest.NewRecorder()
@@ -164,6 +231,106 @@ func runSelftest(h http.Handler) error {
 	code, body = do("POST", "/v1/graphs/self/solve", `{"b":`+rhs+`}`)
 	if err := expect("post-evict solve", code, http.StatusNotFound, body); err != nil {
 		return err
+	}
+	return checkMetricIdentities(do)
+}
+
+// checkMetricIdentities scrapes /metrics and /v1/statusz after the request
+// cycle and verifies the accounting identities that must hold on the
+// quiescent daemon: per-endpoint request counters sum to the served total
+// (and to the status-class counters), latency histogram counts equal the
+// per-endpoint request counts, cache hits + misses equal the instance
+// lookups the cycle performed, and the deterministic exposition section is
+// byte-stable under re-scrape.
+func checkMetricIdentities(do func(method, path, body string) (int, []byte)) error {
+	// The request cycle above: load, list, solve, batch, flow, mst, evict,
+	// post-evict solve = 8 API requests; everything succeeded except the
+	// final 404. Instance lookups: solve, batch, flow, mst hit; the
+	// post-evict solve missed.
+	const (
+		wantRequests = 8
+		want2xx      = 7
+		want4xx      = 1
+		wantHits     = 4
+		wantMisses   = 1
+	)
+
+	code, first := do("GET", "/metrics", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("metrics: status %d: %s", code, first)
+	}
+	code, second := do("GET", "/metrics", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("metrics re-scrape: status %d: %s", code, second)
+	}
+	detA, _, okA := bytes.Cut(first, []byte(obs.WallClockMarker+"\n"))
+	detB, _, okB := bytes.Cut(second, []byte(obs.WallClockMarker+"\n"))
+	if !okA || !okB {
+		return fmt.Errorf("metrics: exposition missing wall-clock marker")
+	}
+	if !bytes.Equal(detA, detB) {
+		return fmt.Errorf("metrics: deterministic section changed under re-scrape:\n%s\nvs\n%s", detA, detB)
+	}
+	if !bytes.Contains(detA, []byte(fmt.Sprintf("distlapd_http_requests_served_total %d", wantRequests))) {
+		return fmt.Errorf("metrics: served-total series missing or wrong:\n%s", detA)
+	}
+
+	code, body := do("GET", "/v1/statusz", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("statusz: status %d: %s", code, body)
+	}
+	var sz service.StatuszResponse
+	if err := json.Unmarshal(body, &sz); err != nil {
+		return fmt.Errorf("statusz: %v: %s", err, body)
+	}
+	det := sz.Deterministic
+
+	if det.RequestsTotal != wantRequests {
+		return fmt.Errorf("statusz: requests_total = %d, want %d", det.RequestsTotal, wantRequests)
+	}
+	var byEndpoint, byClass int64
+	for _, v := range det.RequestsByEndpoint {
+		byEndpoint += v
+	}
+	for _, v := range det.ResponsesByClass {
+		byClass += v
+	}
+	if byEndpoint != det.RequestsTotal || byClass != det.RequestsTotal {
+		return fmt.Errorf("statusz: endpoint sum %d / class sum %d != total %d",
+			byEndpoint, byClass, det.RequestsTotal)
+	}
+	if det.ResponsesByClass["2xx"] != want2xx || det.ResponsesByClass["4xx"] != want4xx {
+		return fmt.Errorf("statusz: status classes %v, want %d 2xx + %d 4xx",
+			det.ResponsesByClass, want2xx, want4xx)
+	}
+	if det.Cache.Hits != wantHits || det.Cache.Misses != wantMisses {
+		return fmt.Errorf("statusz: cache hits/misses = %d/%d, want %d/%d",
+			det.Cache.Hits, det.Cache.Misses, wantHits, wantMisses)
+	}
+	if det.Cache.Entries != 0 || det.Cache.Bytes != 0 || det.Cache.Evictions != 1 {
+		return fmt.Errorf("statusz: cache occupancy after evict: %+v", det.Cache)
+	}
+	for ep, want := range det.RequestsByEndpoint {
+		lat, ok := sz.WallClock.Latency[ep]
+		if !ok || lat.Count != want {
+			return fmt.Errorf("statusz: latency count for %q = %d, want %d (histogram counts must equal request counts)",
+				ep, lat.Count, want)
+		}
+	}
+	if det.EngineRounds["solve"] <= 0 || det.EngineRounds["flow"] <= 0 || det.EngineRounds["mst"] <= 0 {
+		return fmt.Errorf("statusz: engine rounds missing endpoints: %v", det.EngineRounds)
+	}
+
+	code, body = do("GET", "/v1/healthz", "")
+	if code != http.StatusOK {
+		return fmt.Errorf("healthz: status %d: %s", code, body)
+	}
+	var hz service.HealthResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		return fmt.Errorf("healthz: %v: %s", err, body)
+	}
+	if hz.CacheEvictions != det.Cache.Evictions {
+		return fmt.Errorf("healthz evictions %d != statusz evictions %d", hz.CacheEvictions, det.Cache.Evictions)
 	}
 	return nil
 }

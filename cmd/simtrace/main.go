@@ -14,7 +14,10 @@
 //	simtrace -timeline -width 72 trace.jsonl
 //
 // -folded emits flamegraph folded stacks (feed to inferno/flamegraph.pl);
-// -timeline needs a series-enabled trace (experiments -series -trace ...).
+// -timeline needs a series-enabled trace (experiments -series -trace ...)
+// and renders per-phase round bars with convergence gauges (pcg.residual,
+// chebyshev.residual, …) overlaid as value-mapped rows on the same round
+// axis and fault.<kind> streams as per-bucket marker rows.
 package main
 
 import (

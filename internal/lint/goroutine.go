@@ -12,11 +12,14 @@ import (
 // sinks it drives, and the distlapd serving layer (its mutex-guarded
 // instance cache runs under net/http's per-request goroutines; the solver
 // instances it serves are immutable, so concurrency never reaches a
-// measured engine — each request runs a private one). CI runs
-// `go test -race` over exactly these packages; everything else in
-// internal/... must stay single-goroutine so the Go scheduler can never
-// order a measured execution.
-var concurrencyExempt = []string{"/internal/experiments", "/internal/simtrace", "/internal/service"}
+// measured engine — each request runs a private one), and the obs metrics
+// subsystem (its counters, gauges and histograms exist to be hammered by
+// those same request goroutines while a scraper snapshots them; metric
+// values are order-insensitive sums, so concurrency cannot reach the
+// deterministic exposition). CI runs `go test -race` over exactly these
+// packages; everything else in internal/... must stay single-goroutine so
+// the Go scheduler can never order a measured execution.
+var concurrencyExempt = []string{"/internal/experiments", "/internal/simtrace", "/internal/service", "/internal/obs"}
 
 // Goroutine returns the goroutine analyzer: in internal/... outside the
 // sanctioned packages it flags `go` statements, channel construction, and

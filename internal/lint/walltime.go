@@ -2,10 +2,16 @@ package lint
 
 // walltimeExempt are the module-relative package suffixes allowed to read
 // the wall clock: the experiment harness times real executions (its
-// wall-clock numbers are reported, never gated — see cmd/bench). Everything
-// else under internal/ is simulator code whose outputs must be bit-identical
-// across runs, and a clock read is the canonical way to break that.
-var walltimeExempt = []string{"/internal/experiments"}
+// wall-clock numbers are reported, never gated — see cmd/bench), and the
+// distlapd serving layer measures request latency and uptime (which the
+// obs registry segregates into wall-clock metric families below the
+// exposition marker, so the determinism gates never compare them).
+// Everything else under internal/ is simulator code whose outputs must be
+// bit-identical across runs, and a clock read is the canonical way to
+// break that. internal/obs itself is deliberately NOT exempt: the metrics
+// subsystem never reads the clock — callers observe durations into
+// wall-clock histograms — and the analyzer enforces that split.
+var walltimeExempt = []string{"/internal/experiments", "/internal/service"}
 
 // clockFuncs are the time-package functions that observe or depend on the
 // wall clock (or the runtime timer heap, equally non-replayable).

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AccessRecord is one served request in the access log. Field order is the
+// wire order (encoding/json marshals struct fields in declaration order),
+// so records are byte-stable given identical values. DurationMicros is the
+// only wall-clock field; everything else is a pure function of the request
+// sequence, so two daemons replaying the same traffic produce logs that
+// differ in durations alone.
+type AccessRecord struct {
+	// ID is the request's correlation ID — the same value the daemon
+	// returns in the X-Request-Id response header, so a logged line can be
+	// matched to the response a client holds.
+	ID       string `json:"id"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Endpoint string `json:"endpoint"`
+	Status   int    `json:"status"`
+	// BytesOut is the response body size in bytes.
+	BytesOut int64 `json:"bytes_out"`
+	// DurationMicros is the wall-clock handling time in microseconds.
+	DurationMicros int64 `json:"duration_us"`
+}
+
+// AccessLog is a mutex-guarded JSONL access-log writer: one JSON object
+// per line, each line a single Write. Like the simtrace JSONL sink, the
+// first write error poisons the log — later records are dropped and Err
+// reports the original failure — so a truncated log never silently loses
+// its tail while appearing healthy.
+type AccessLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewAccessLog returns an access log writing JSONL records to w. A nil w
+// yields a nil log, and a nil *AccessLog drops records silently — callers
+// can hold one pointer and never branch on whether logging is enabled.
+func NewAccessLog(w io.Writer) *AccessLog {
+	if w == nil {
+		return nil
+	}
+	return &AccessLog{w: w}
+}
+
+// Log appends one record. Safe for concurrent use; a nil receiver is a
+// no-op.
+func (l *AccessLog) Log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		// AccessRecord has no unmarshalable fields; keep the contract local.
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	n, err := l.w.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	l.err = err
+}
+
+// Err reports the first write error, nil while the log is healthy or the
+// receiver is nil.
+func (l *AccessLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"distlap"
+	"distlap/internal/obs"
 )
 
 // InstanceInfo is the serialized description of one cached instance.
@@ -31,6 +32,47 @@ type InstanceInfo struct {
 	SizeBytes     int64   `json:"size_bytes"`
 	SetupRounds   int     `json:"setup_rounds"`
 	SetupMessages int64   `json:"setup_messages"`
+}
+
+// cacheStats is the metric handle bundle the cache updates inline, under
+// its own mutex — so the hit/miss/eviction counters and the occupancy
+// gauges are exact even while loads and solves race. All fields are
+// optional: a zero cacheStats (as the cache-only tests use) records
+// nothing.
+type cacheStats struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+	bytes     *obs.Gauge
+}
+
+func (st cacheStats) onHit() {
+	if st.hits != nil {
+		st.hits.Inc()
+	}
+}
+
+func (st cacheStats) onMiss() {
+	if st.misses != nil {
+		st.misses.Inc()
+	}
+}
+
+func (st cacheStats) onEvict(n int64) {
+	if st.evictions != nil && n > 0 {
+		st.evictions.Add(n)
+	}
+}
+
+// sync publishes the current occupancy to the gauges.
+func (st cacheStats) sync(entries int, bytes int64) {
+	if st.entries != nil {
+		st.entries.Set(int64(entries))
+	}
+	if st.bytes != nil {
+		st.bytes.Set(bytes)
+	}
 }
 
 type cacheEntry struct {
@@ -50,10 +92,11 @@ type instanceCache struct {
 	clock   uint64
 	total   int64
 	entries map[string]*cacheEntry
+	stats   cacheStats
 }
 
-func newInstanceCache(budget int64) *instanceCache {
-	return &instanceCache{budget: budget, entries: make(map[string]*cacheEntry)}
+func newInstanceCache(budget int64, stats cacheStats) *instanceCache {
+	return &instanceCache{budget: budget, entries: make(map[string]*cacheEntry), stats: stats}
 }
 
 // get returns the cached instance and bumps its recency.
@@ -62,8 +105,10 @@ func (c *instanceCache) get(id string) (*distlap.Instance, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.entries[id]
 	if !ok {
+		c.stats.onMiss()
 		return nil, false
 	}
+	c.stats.onHit()
 	c.clock++
 	e.lastUsed = c.clock
 	return e.inst, true
@@ -107,6 +152,8 @@ func (c *instanceCache) put(id string, inst *distlap.Instance, info InstanceInfo
 		delete(c.entries, victim)
 		evicted = append(evicted, victim)
 	}
+	c.stats.onEvict(int64(len(evicted)))
+	c.stats.sync(len(c.entries), c.total)
 	return evicted
 }
 
@@ -120,6 +167,8 @@ func (c *instanceCache) evict(id string) bool {
 	}
 	c.total -= e.info.SizeBytes
 	delete(c.entries, id)
+	c.stats.onEvict(1)
+	c.stats.sync(len(c.entries), c.total)
 	return true
 }
 

@@ -79,11 +79,12 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // admit is the in-flight admission gate: a non-blocking semaphore acquire,
 // answering 503 + Retry-After when the daemon is saturated. Queueing here
 // would hide overload behind unbounded latency; refusing keeps the failure
-// visible and retryable. Health probes bypass the gate — a saturated
-// daemon is alive, and saying so is the probe's whole job.
+// visible and retryable. Health probes and metric scrapes bypass the
+// gate — a saturated daemon is alive, and saying so (with numbers) is
+// exactly what probes and scrapers exist for.
 func (s *Server) admit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == healthzPath {
+		if observabilityPath(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -121,6 +122,10 @@ type HealthResponse struct {
 	CachedInstances  int    `json:"cached_instances"`
 	CacheBytes       int64  `json:"cache_bytes"`
 	CacheBudgetBytes int64  `json:"cache_budget_bytes"`
+	// CacheEvictions is the cumulative count of instances evicted (budget
+	// pressure and explicit DELETE) — rising fast relative to loads means
+	// the budget is too small for the working set.
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -131,6 +136,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CachedInstances:  s.cache.count(),
 		CacheBytes:       s.cache.totalBytes(),
 		CacheBudgetBytes: s.cache.budget,
+		CacheEvictions:   s.met.cacheEvictions.Value(),
 	})
 }
 

@@ -1,0 +1,412 @@
+package service
+
+// The serving path's production metrics (DESIGN.md §6, serving side):
+// every API request is classified into a small fixed endpoint set and
+// recorded — request counts, status classes, in-flight, latency
+// histograms — alongside the engine cost its response carried (rounds,
+// messages, recovery attempts, observed faults, degradations) and the
+// instance cache's accounting (hits, misses, evictions, byte occupancy).
+// GET /metrics exposes the registry as Prometheus text with the
+// deterministic section first (obs.WallClockMarker splits it); GET
+// /v1/statusz exposes a JSON snapshot with the same deterministic /
+// wall-clock field split plus per-endpoint latency quantiles.
+//
+// The observability endpoints themselves (metrics, statusz, healthz) are
+// not instrumented: a scrape must never perturb the numbers it reads, or
+// two daemons scraped at different cadences would diverge on an otherwise
+// identical request sequence.
+
+import (
+	"bytes"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"distlap"
+	"distlap/internal/obs"
+)
+
+// Observability endpoint paths (healthzPath lives in harden.go).
+const (
+	metricsPath = "/metrics"
+	statuszPath = "/v1/statusz"
+)
+
+// observabilityPath reports whether a request path names a scrape / probe
+// endpoint — these bypass the admission gate (harden.go) and are never
+// instrumented or access-logged.
+func observabilityPath(p string) bool {
+	return p == metricsPath || p == statuszPath || p == healthzPath
+}
+
+// Metric endpoint labels: the closed set of API endpoints the middleware
+// classifies requests into.
+const (
+	epLoad    = "load"
+	epList    = "list"
+	epEvict   = "evict"
+	epSolve   = "solve"
+	epFlow    = "flow"
+	epMST     = "mst"
+	epMetrics = "metrics"
+	epStatusz = "statusz"
+	epHealthz = "healthz"
+	epOther   = "other"
+)
+
+// serverMetrics bundles the registry and the typed handles the hot path
+// writes through (handles are resolved once here — request handling never
+// does a by-name lookup).
+type serverMetrics struct {
+	reg *obs.Registry
+
+	served    *obs.Counter      // all instrumented requests
+	requests  *obs.CounterVec   // by endpoint
+	responses *obs.CounterVec   // by status class (2xx/4xx/5xx)
+	inFlight  *obs.Gauge        // instrumented requests currently in flight
+	latency   *obs.HistogramVec // by endpoint; wall-clock
+
+	engineRounds   *obs.CounterVec   // by endpoint
+	engineMessages *obs.CounterVec   // by endpoint
+	requestRounds  *obs.HistogramVec // by endpoint; engine rounds per request
+	attempts       *obs.Counter
+	faults         *obs.Counter
+	degraded       *obs.Counter
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+	cacheBytes     *obs.Gauge
+	cacheBudget    *obs.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		served: r.Counter("distlapd_http_requests_served_total",
+			"API requests served (all endpoints; per-endpoint counters sum to this)", true),
+		requests: r.CounterVec("distlapd_http_requests_total",
+			"API requests by endpoint", true, "endpoint"),
+		responses: r.CounterVec("distlapd_http_responses_total",
+			"API responses by status class", true, "class"),
+		inFlight: r.Gauge("distlapd_http_in_flight",
+			"API requests currently being served", true),
+		latency: r.HistogramVec("distlapd_http_request_duration_seconds",
+			"request handling latency by endpoint", false, "endpoint", obs.LatencyBuckets()),
+		engineRounds: r.CounterVec("distlapd_engine_rounds_total",
+			"simulated engine rounds charged to served requests, by endpoint", true, "endpoint"),
+		engineMessages: r.CounterVec("distlapd_engine_messages_total",
+			"simulated engine messages charged to served requests, by endpoint", true, "endpoint"),
+		requestRounds: r.HistogramVec("distlapd_request_engine_rounds",
+			"engine round cost per served result (one observation per right-hand side for batch solves), by endpoint",
+			true, "endpoint", obs.PowerOfTwoBuckets(0, 20)),
+		attempts: r.Counter("distlapd_solve_attempts_total",
+			"solve attempts the recovery ladder executed (fault-injected requests)", true),
+		faults: r.Counter("distlapd_faults_observed_total",
+			"fault events observed by served requests' engines", true),
+		degraded: r.Counter("distlapd_degraded_results_total",
+			"requests whose result met only a degraded target", true),
+		cacheHits: r.Counter("distlapd_cache_hits_total",
+			"instance-cache lookups that found a prepared instance", true),
+		cacheMisses: r.Counter("distlapd_cache_misses_total",
+			"instance-cache lookups that missed", true),
+		cacheEvictions: r.Counter("distlapd_cache_evictions_total",
+			"instances evicted from the cache (budget pressure and explicit DELETE)", true),
+		cacheEntries: r.Gauge("distlapd_cache_entries",
+			"prepared instances currently cached", true),
+		cacheBytes: r.Gauge("distlapd_cache_bytes",
+			"estimated resident bytes of cached instances", true),
+		cacheBudget: r.Gauge("distlapd_cache_budget_bytes",
+			"instance-cache byte budget", true),
+	}
+}
+
+// cacheStats returns the handle bundle the instance cache updates inline
+// (under its own mutex, so hit/miss/eviction counts are exact even under
+// concurrent load).
+func (m *serverMetrics) cacheStats() cacheStats {
+	return cacheStats{
+		hits: m.cacheHits, misses: m.cacheMisses, evictions: m.cacheEvictions,
+		entries: m.cacheEntries, bytes: m.cacheBytes,
+	}
+}
+
+// recordEngine folds one served request's engine cost into the registry:
+// the per-request linkage between the serving layer and the simulation
+// metrics underneath it.
+func (s *Server) recordEngine(endpoint string, m distlap.Metrics) {
+	rounds := int64(m.TotalRounds())
+	msgs := m.Congest.Messages
+	if m.NCC != nil {
+		msgs += m.NCC.Messages
+	}
+	s.met.engineRounds.With(endpoint).Add(rounds)
+	s.met.engineMessages.With(endpoint).Add(msgs)
+	s.met.requestRounds.With(endpoint).Observe(float64(rounds))
+	if m.Attempts > 0 {
+		s.met.attempts.Add(int64(m.Attempts))
+	}
+	if m.FaultsObserved > 0 {
+		s.met.faults.Add(m.FaultsObserved)
+	}
+	if m.Degraded {
+		s.met.degraded.Inc()
+	}
+}
+
+// endpointOf classifies a request into the fixed endpoint label set by
+// path shape (the mux's own routing decides what actually runs; this only
+// labels metrics, so unknown shapes land in "other" rather than growing
+// the label space).
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case metricsPath:
+		return epMetrics
+	case statuszPath:
+		return epStatusz
+	case healthzPath:
+		return epHealthz
+	case "/v1/graphs":
+		if r.Method == http.MethodGet {
+			return epList
+		}
+		return epLoad
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/graphs/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i+1:] {
+			case "solve":
+				return epSolve
+			case "flow":
+				return epFlow
+			case "mst":
+				return epMST
+			}
+		} else if r.Method == http.MethodDelete {
+			return epEvict
+		}
+	}
+	return epOther
+}
+
+// observabilityEndpoint reports whether an endpoint label names a scrape /
+// probe endpoint — exempt from instrumentation, admission control and the
+// access log (and healthz additionally from the request deadline's cost:
+// none of them run engine work).
+func observabilityEndpoint(ep string) bool {
+	return ep == epMetrics || ep == epStatusz || ep == epHealthz
+}
+
+// statusClass maps a status code to its metric class label.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusRecorder captures the status and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// instrument is the outermost middleware: it assigns the request ID
+// (echoed as X-Request-Id, correlating responses to access-log lines),
+// times the request, and records every metric the request generates —
+// including 503s from the admission gate and 500s from panic recovery,
+// which both run inside it. Observability endpoints pass through
+// unrecorded: scrapes must not perturb what they read.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointOf(r)
+		if observabilityEndpoint(ep) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := "req-" + strconv.FormatInt(s.reqID.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		sr := &statusRecorder{ResponseWriter: w}
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		dur := time.Since(start)
+		s.met.inFlight.Add(-1)
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		s.met.served.Inc()
+		s.met.requests.With(ep).Inc()
+		s.met.responses.With(statusClass(sr.status)).Inc()
+		s.met.latency.With(ep).Observe(dur.Seconds())
+		s.accessLog.Log(obs.AccessRecord{
+			ID: id, Method: r.Method, Path: r.URL.Path, Endpoint: ep,
+			Status: sr.status, BytesOut: sr.bytes, DurationMicros: dur.Microseconds(),
+		})
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: deterministic
+// families, the obs.WallClockMarker line, then wall-clock families.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	_ = obs.WriteProm(&buf, s.met.reg.Snapshot()) // bytes.Buffer writes cannot fail
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// StatuszResponse is the body of GET /v1/statusz: the operator's one-page
+// view, split into the deterministic fields (a pure function of the
+// request sequence and seeds — byte-comparable across daemons) and the
+// wall-clock fields (uptime, latency quantiles).
+type StatuszResponse struct {
+	Deterministic StatuszDeterministic `json:"deterministic"`
+	WallClock     StatuszWallClock     `json:"wallclock"`
+	Build         StatuszBuild         `json:"build"`
+}
+
+// StatuszDeterministic carries the determinism-gated counters.
+type StatuszDeterministic struct {
+	RequestsTotal      int64            `json:"requests_total"`
+	RequestsByEndpoint map[string]int64 `json:"requests_by_endpoint"`
+	ResponsesByClass   map[string]int64 `json:"responses_by_class"`
+	EngineRounds       map[string]int64 `json:"engine_rounds_by_endpoint"`
+	EngineMessages     map[string]int64 `json:"engine_messages_by_endpoint"`
+	SolveAttempts      int64            `json:"solve_attempts_total"`
+	FaultsObserved     int64            `json:"faults_observed_total"`
+	DegradedResults    int64            `json:"degraded_results_total"`
+	Cache              StatuszCache     `json:"cache"`
+}
+
+// StatuszCache is the cache-occupancy block (occupancy vs budget plus the
+// cumulative accounting).
+type StatuszCache struct {
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// StatuszWallClock carries the fields real time feeds.
+type StatuszWallClock struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Latency       map[string]StatuszLatency `json:"latency_by_endpoint"`
+}
+
+// StatuszLatency is one endpoint's latency summary, quantiles estimated
+// from the fixed-bucket histogram (obs.SeriesSnapshot.Quantile).
+type StatuszLatency struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// StatuszBuild identifies the serving binary's toolchain.
+type StatuszBuild struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	snap := s.met.reg.Snapshot()
+	resp := StatuszResponse{
+		Deterministic: StatuszDeterministic{
+			RequestsTotal:      scalarValue(snap, "distlapd_http_requests_served_total"),
+			RequestsByEndpoint: familyValues(snap, "distlapd_http_requests_total"),
+			ResponsesByClass:   familyValues(snap, "distlapd_http_responses_total"),
+			EngineRounds:       familyValues(snap, "distlapd_engine_rounds_total"),
+			EngineMessages:     familyValues(snap, "distlapd_engine_messages_total"),
+			SolveAttempts:      scalarValue(snap, "distlapd_solve_attempts_total"),
+			FaultsObserved:     scalarValue(snap, "distlapd_faults_observed_total"),
+			DegradedResults:    scalarValue(snap, "distlapd_degraded_results_total"),
+			Cache: StatuszCache{
+				Entries:     scalarValue(snap, "distlapd_cache_entries"),
+				Bytes:       scalarValue(snap, "distlapd_cache_bytes"),
+				BudgetBytes: scalarValue(snap, "distlapd_cache_budget_bytes"),
+				Hits:        scalarValue(snap, "distlapd_cache_hits_total"),
+				Misses:      scalarValue(snap, "distlapd_cache_misses_total"),
+				Evictions:   scalarValue(snap, "distlapd_cache_evictions_total"),
+			},
+		},
+		WallClock: StatuszWallClock{
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			Latency:       latencyByEndpoint(snap),
+		},
+		Build: StatuszBuild{GoVersion: runtime.Version(), OS: runtime.GOOS, Arch: runtime.GOARCH},
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scalarValue reads a scalar counter/gauge family from a snapshot.
+func scalarValue(snap obs.Snapshot, name string) int64 {
+	f, ok := snap.Family(name)
+	if !ok || len(f.Series) == 0 {
+		return 0
+	}
+	return f.Series[0].Value
+}
+
+// familyValues reads a labeled counter family into a map (encoding/json
+// marshals map keys sorted, so the rendering stays byte-stable).
+func familyValues(snap obs.Snapshot, name string) map[string]int64 {
+	out := map[string]int64{}
+	f, ok := snap.Family(name)
+	if !ok {
+		return out
+	}
+	for _, ser := range f.Series {
+		out[ser.LabelValue] = ser.Value
+	}
+	return out
+}
+
+// latencyByEndpoint summarizes the latency histogram family as quantiles.
+func latencyByEndpoint(snap obs.Snapshot) map[string]StatuszLatency {
+	out := map[string]StatuszLatency{}
+	f, ok := snap.Family("distlapd_http_request_duration_seconds")
+	if !ok {
+		return out
+	}
+	for _, ser := range f.Series {
+		out[ser.LabelValue] = StatuszLatency{
+			Count: ser.Count,
+			P50ms: 1000 * ser.Quantile(0.50),
+			P95ms: 1000 * ser.Quantile(0.95),
+			P99ms: 1000 * ser.Quantile(0.99),
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package service
+
+// Serving-metrics tests: the two-daemon determinism gate over the
+// /metrics exposition and the statusz deterministic object, the metric
+// identities (per-endpoint counters sum to totals, histogram counts match
+// request counts, cache hits + misses match instance lookups), the
+// admission-bypass contract for scrape endpoints, access-log correlation,
+// and a concurrent scrape-while-solving run for the race detector.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"distlap/internal/obs"
+)
+
+func newTestRequest(method, path, body string) *http.Request {
+	return httptest.NewRequest(method, path, strings.NewReader(body))
+}
+
+func newTestRecorder() *httptest.ResponseRecorder { return httptest.NewRecorder() }
+
+// metricsScript is the canonical request sequence the metrics tests
+// replay: every endpoint once, plus a batch solve and a 404.
+var metricsScript = []struct{ method, path, body string }{
+	{"POST", "/v1/graphs", loadGrid},
+	{"GET", "/v1/graphs", ""},
+	{"POST", "/v1/graphs/g1/solve", `{"b":` + unitRHS36(0, 35) + `}`},
+	{"POST", "/v1/graphs/g1/solve", `{"bs":[` + unitRHS36(0, 35) + `,` + unitRHS36(3, 30) + `]}`},
+	{"POST", "/v1/graphs/g1/flow", `{"s":1,"t":34}`},
+	{"POST", "/v1/graphs/g1/mst", `{}`},
+	{"DELETE", "/v1/graphs/g1", ""},
+	{"POST", "/v1/graphs/g1/solve", `{"b":` + unitRHS36(0, 35) + `}`}, // 404: evicted
+}
+
+func unitRHS36(s, t int) string { return unitRHS(36, s, t) }
+
+func playScript(t *testing.T, h http.Handler) {
+	t.Helper()
+	for i, step := range metricsScript {
+		code, body := doReq(t, h, step.method, step.path, step.body)
+		want := http.StatusOK
+		if i == len(metricsScript)-1 {
+			want = http.StatusNotFound
+		}
+		mustStatus(t, step.method+" "+step.path, code, want, body)
+	}
+}
+
+func scrape(t *testing.T, h http.Handler, path string) []byte {
+	t.Helper()
+	code, body := doReq(t, h, "GET", path, "")
+	mustStatus(t, "GET "+path, code, http.StatusOK, body)
+	return body
+}
+
+// detSection cuts a /metrics exposition at the wall-clock marker and
+// returns the deterministic half.
+func detSection(t *testing.T, exposition []byte) []byte {
+	t.Helper()
+	det, _, found := bytes.Cut(exposition, []byte(obs.WallClockMarker+"\n"))
+	if !found {
+		t.Fatalf("exposition missing wall-clock marker:\n%s", exposition)
+	}
+	return det
+}
+
+// TestMetricsDeterministicAcrossDaemons is the observability determinism
+// gate: two independently constructed Servers replaying the same request
+// sequence expose byte-identical deterministic /metrics sections and
+// byte-identical statusz deterministic objects (the wall-clock halves are
+// free to differ — that is the point of the split).
+func TestMetricsDeterministicAcrossDaemons(t *testing.T) {
+	run := func() (metrics, statuszDet []byte) {
+		h := New(Config{}).Handler()
+		playScript(t, h)
+		var sz StatuszResponse
+		if err := json.Unmarshal(scrape(t, h, statuszPath), &sz); err != nil {
+			t.Fatalf("statusz: %v", err)
+		}
+		detJSON, err := json.Marshal(sz.Deterministic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scrape(t, h, metricsPath), detJSON
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if d1, d2 := detSection(t, m1), detSection(t, m2); !bytes.Equal(d1, d2) {
+		t.Errorf("deterministic /metrics sections diverge across daemons:\n%s\nvs\n%s", d1, d2)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("statusz deterministic objects diverge across daemons:\n%s\nvs\n%s", s1, s2)
+	}
+	// Scraping must not perturb the metrics it reads: a second scrape of the
+	// same daemon returns an identical deterministic section.
+	h := New(Config{}).Handler()
+	playScript(t, h)
+	a, b := scrape(t, h, metricsPath), scrape(t, h, metricsPath)
+	if !bytes.Equal(detSection(t, a), detSection(t, b)) {
+		t.Errorf("re-scrape changed the deterministic section:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMetricsIdentities replays the script and checks the accounting
+// identities the registry must satisfy on a quiescent daemon.
+func TestMetricsIdentities(t *testing.T) {
+	h := New(Config{}).Handler()
+	playScript(t, h)
+	var sz StatuszResponse
+	if err := json.Unmarshal(scrape(t, h, statuszPath), &sz); err != nil {
+		t.Fatal(err)
+	}
+	det := sz.Deterministic
+
+	if det.RequestsTotal != int64(len(metricsScript)) {
+		t.Errorf("requests_total = %d, want %d", det.RequestsTotal, len(metricsScript))
+	}
+	var byEndpoint int64
+	for _, v := range det.RequestsByEndpoint {
+		byEndpoint += v
+	}
+	if byEndpoint != det.RequestsTotal {
+		t.Errorf("per-endpoint requests sum to %d, total is %d", byEndpoint, det.RequestsTotal)
+	}
+	var byClass int64
+	for _, v := range det.ResponsesByClass {
+		byClass += v
+	}
+	if byClass != det.RequestsTotal {
+		t.Errorf("per-class responses sum to %d, total is %d", byClass, det.RequestsTotal)
+	}
+	if det.ResponsesByClass["2xx"] != 7 || det.ResponsesByClass["4xx"] != 1 {
+		t.Errorf("status classes = %v, want 7 2xx + 1 4xx", det.ResponsesByClass)
+	}
+	// Script sends 3 solve, 1 flow, 1 mst request; each does exactly one
+	// cache lookup; only the post-evict solve misses.
+	if got := det.Cache.Hits + det.Cache.Misses; got != 5 {
+		t.Errorf("cache hits+misses = %d, want 5 instance lookups", got)
+	}
+	if det.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (the post-evict solve)", det.Cache.Misses)
+	}
+	if det.Cache.Evictions != 1 || det.Cache.Entries != 0 || det.Cache.Bytes != 0 {
+		t.Errorf("cache accounting after DELETE: %+v", det.Cache)
+	}
+	if det.Cache.BudgetBytes != DefaultCacheBytes {
+		t.Errorf("cache budget = %d, want %d", det.Cache.BudgetBytes, DefaultCacheBytes)
+	}
+	if det.EngineRounds["solve"] <= 0 || det.EngineRounds["flow"] <= 0 || det.EngineRounds["mst"] <= 0 {
+		t.Errorf("engine rounds missing endpoints: %v", det.EngineRounds)
+	}
+
+	// Latency histogram counts equal the per-endpoint request counts.
+	for ep, want := range det.RequestsByEndpoint {
+		lat, ok := sz.WallClock.Latency[ep]
+		if !ok {
+			t.Errorf("endpoint %q has requests but no latency series", ep)
+			continue
+		}
+		if lat.Count != want {
+			t.Errorf("latency count for %q = %d, want %d", ep, lat.Count, want)
+		}
+	}
+
+	// healthz reports the same cache accounting.
+	var hz HealthResponse
+	if err := json.Unmarshal(scrape(t, h, healthzPath), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.CacheEvictions != det.Cache.Evictions {
+		t.Errorf("healthz evictions %d != statusz evictions %d", hz.CacheEvictions, det.Cache.Evictions)
+	}
+	if int64(hz.CachedInstances) != det.Cache.Entries || hz.CacheBytes != det.Cache.Bytes {
+		t.Errorf("healthz occupancy (%d entries, %d bytes) != statusz (%d, %d)",
+			hz.CachedInstances, hz.CacheBytes, det.Cache.Entries, det.Cache.Bytes)
+	}
+}
+
+// TestScrapeBypassesAdmission fills the admission semaphore and checks a
+// saturated daemon still serves /metrics, /v1/statusz and /v1/healthz —
+// while an API request is refused with a counted 503.
+func TestScrapeBypassesAdmission(t *testing.T) {
+	s := New(Config{MaxInFlight: 1})
+	h := s.Handler()
+	s.sem <- struct{}{} // saturate
+	for _, p := range []string{metricsPath, statuszPath, healthzPath} {
+		if code, body := doReq(t, h, "GET", p, ""); code != http.StatusOK {
+			t.Errorf("saturated GET %s: status %d: %s", p, code, body)
+		}
+	}
+	code, body := doReq(t, h, "GET", "/v1/graphs", "")
+	mustStatus(t, "saturated list", code, http.StatusServiceUnavailable, body)
+	<-s.sem
+
+	var sz StatuszResponse
+	if err := json.Unmarshal(scrape(t, h, statuszPath), &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.Deterministic.ResponsesByClass["5xx"] != 1 {
+		t.Errorf("admission 503 not counted: %v", sz.Deterministic.ResponsesByClass)
+	}
+	if sz.Deterministic.RequestsTotal != 1 {
+		t.Errorf("scrapes were instrumented: requests_total = %d, want 1", sz.Deterministic.RequestsTotal)
+	}
+}
+
+// TestAccessLogCorrelation replays the script with the access log enabled
+// and checks one record per API request, none for scrapes, IDs matching
+// the X-Request-Id headers, and byte-identical logs across daemons after
+// zeroing the wall-clock duration field.
+func TestAccessLogCorrelation(t *testing.T) {
+	run := func() (lines []obs.AccessRecord, headerIDs []string) {
+		var buf bytes.Buffer
+		s := New(Config{AccessLog: &buf})
+		h := s.Handler()
+		for i, step := range metricsScript {
+			req := newTestRequest(step.method, step.path, step.body)
+			rec := newTestRecorder()
+			h.ServeHTTP(rec, req)
+			want := http.StatusOK
+			if i == len(metricsScript)-1 {
+				want = http.StatusNotFound
+			}
+			mustStatus(t, step.method+" "+step.path, rec.Code, want, rec.Body.Bytes())
+			headerIDs = append(headerIDs, rec.Header().Get("X-Request-Id"))
+		}
+		scrape(t, h, metricsPath) // scrapes are not logged
+		if err := s.AccessLogErr(); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+			var rec obs.AccessRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("access log line %q: %v", line, err)
+			}
+			lines = append(lines, rec)
+		}
+		return lines, headerIDs
+	}
+	lines, ids := run()
+	if len(lines) != len(metricsScript) {
+		t.Fatalf("access log has %d records, want %d (scrapes must not be logged)", len(lines), len(metricsScript))
+	}
+	for i, rec := range lines {
+		if rec.ID != ids[i] {
+			t.Errorf("record %d id %q != X-Request-Id %q", i, rec.ID, ids[i])
+		}
+		if rec.Method != metricsScript[i].method || rec.Path != metricsScript[i].path {
+			t.Errorf("record %d is %s %s, want %s %s", i, rec.Method, rec.Path,
+				metricsScript[i].method, metricsScript[i].path)
+		}
+	}
+	if lines[len(lines)-1].Status != http.StatusNotFound {
+		t.Errorf("last record status = %d, want 404", lines[len(lines)-1].Status)
+	}
+
+	// Determinism modulo the one wall-clock field.
+	lines2, _ := run()
+	for i := range lines {
+		a, b := lines[i], lines2[i]
+		a.DurationMicros, b.DurationMicros = 0, 0
+		if a != b {
+			t.Errorf("access record %d diverges across daemons: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestConcurrentScrapeWhileSolving hammers solves and scrapes in parallel;
+// the race detector (make race covers this package) is the assertion, plus
+// the identities holding once the daemon quiesces.
+func TestConcurrentScrapeWhileSolving(t *testing.T) {
+	h := New(Config{}).Handler()
+	code, body := doReq(t, h, "POST", "/v1/graphs", loadGrid)
+	mustStatus(t, "load", code, http.StatusOK, body)
+
+	const workers, perWorker = 4, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := newTestRequest("POST", "/v1/graphs/g1/solve", `{"b":`+unitRHS36(0, 35)+`}`)
+				rec := newTestRecorder()
+				h.ServeHTTP(rec, req)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for _, p := range []string{metricsPath, statuszPath, healthzPath} {
+					req := newTestRequest("GET", p, "")
+					h.ServeHTTP(newTestRecorder(), req)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var sz StatuszResponse
+	if err := json.Unmarshal(scrape(t, h, statuszPath), &sz); err != nil {
+		t.Fatal(err)
+	}
+	det := sz.Deterministic
+	wantSolves := int64(workers * perWorker)
+	if det.RequestsByEndpoint["solve"] != wantSolves {
+		t.Errorf("solve requests = %d, want %d", det.RequestsByEndpoint["solve"], wantSolves)
+	}
+	if det.RequestsTotal != wantSolves+1 {
+		t.Errorf("requests_total = %d, want %d (solves + load)", det.RequestsTotal, wantSolves+1)
+	}
+	if got := det.Cache.Hits + det.Cache.Misses; got != wantSolves {
+		t.Errorf("cache lookups = %d, want %d", got, wantSolves)
+	}
+	if sz.WallClock.Latency["solve"].Count != wantSolves {
+		t.Errorf("solve latency count = %d, want %d", sz.WallClock.Latency["solve"].Count, wantSolves)
+	}
+}

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"distlap"
+	"distlap/internal/obs"
 )
 
 // DefaultCacheBytes is the instance-cache budget when Config.CacheBytes is
@@ -32,6 +35,10 @@ type Config struct {
 	// RequestTimeout bounds one request's wall time (0 selects
 	// DefaultRequestTimeout); expiry surfaces as a retryable 503.
 	RequestTimeout time.Duration
+	// AccessLog, when non-nil, receives one JSONL record per served API
+	// request (observability endpoints are not logged). The first write
+	// error poisons the log; Server.AccessLogErr reports it.
+	AccessLog io.Writer
 }
 
 // Server is the distlapd HTTP service: a JSON API over a byte-budgeted LRU
@@ -54,6 +61,11 @@ type Server struct {
 	maxBody    int64
 	sem        chan struct{} // in-flight admission semaphore (harden.go)
 	reqTimeout time.Duration
+
+	met       *serverMetrics // serving-path metric registry (metrics.go)
+	accessLog *obs.AccessLog // nil when access logging is disabled
+	reqID     atomic.Int64   // request-ID source; "req-<n>" correlates log lines
+	start     time.Time      // process start, for statusz uptime
 }
 
 // New returns a Server with its routes installed.
@@ -74,12 +86,17 @@ func New(cfg Config) *Server {
 	if reqTimeout <= 0 {
 		reqTimeout = DefaultRequestTimeout
 	}
+	met := newServerMetrics()
+	met.cacheBudget.Set(budget)
 	s := &Server{
-		cache:      newInstanceCache(budget),
+		cache:      newInstanceCache(budget, met.cacheStats()),
 		mux:        http.NewServeMux(),
 		maxBody:    maxBody,
 		sem:        make(chan struct{}, inFlight),
 		reqTimeout: reqTimeout,
+		met:        met,
+		accessLog:  obs.NewAccessLog(cfg.AccessLog),
+		start:      time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleLoad)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleList)
@@ -88,13 +105,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/{id}/flow", s.handleFlow)
 	s.mux.HandleFunc("POST /v1/graphs/{id}/mst", s.handleMST)
 	s.mux.HandleFunc("GET "+healthzPath, s.handleHealthz)
+	s.mux.HandleFunc("GET "+metricsPath, s.handleMetrics)
+	s.mux.HandleFunc("GET "+statuszPath, s.handleStatusz)
 	return s
 }
 
 // Handler returns the Server's HTTP handler: the route mux wrapped in the
 // hardening chain of harden.go (panic recovery, admission control,
-// per-request deadlines).
-func (s *Server) Handler() http.Handler { return s.harden(s.mux) }
+// per-request deadlines), all inside the instrumentation middleware of
+// metrics.go — outermost so the 500s panic recovery writes and the 503s
+// the admission gate writes are counted like any other response.
+func (s *Server) Handler() http.Handler { return s.instrument(s.harden(s.mux)) }
+
+// AccessLogErr reports the access log's first write error (nil while
+// healthy or when access logging is disabled).
+func (s *Server) AccessLogErr() error { return s.accessLog.Err() }
 
 // GraphSpec describes the graph to load: an explicit edge list or a named
 // standard family with an approximate target size.
@@ -190,6 +215,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setup := inst.SetupMetrics()
+	s.recordEngine(epLoad, setup)
 	info := InstanceInfo{
 		ID:            req.ID,
 		Nodes:         g.N(),
@@ -296,6 +322,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := SolveResponse{Results: make([]SolveResult, len(results))}
 	for i, res := range results {
+		s.recordEngine(epSolve, res.Metrics)
 		resp.Results[i] = SolveResult{
 			X:          res.X,
 			Iterations: res.Iterations,
@@ -336,6 +363,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, r, err)
 		return
 	}
+	s.recordEngine(epFlow, fl.Metrics)
 	writeJSON(w, http.StatusOK, FlowResponse{
 		Resistance: fl.Resistance,
 		Iterations: fl.Iterations,
@@ -370,6 +398,7 @@ func (s *Server) handleMST(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, r, err)
 		return
 	}
+	s.recordEngine(epMST, res.Metrics)
 	edges := res.Edges
 	if edges == nil {
 		edges = []int{}

@@ -243,7 +243,7 @@ func TestServerLRUEviction(t *testing.T) {
 // TestCacheLRUOrder pins the cache's recency discipline directly: touching
 // an entry via get saves it from the next eviction sweep.
 func TestCacheLRUOrder(t *testing.T) {
-	c := newInstanceCache(100)
+	c := newInstanceCache(100, cacheStats{})
 	put := func(id string, size int64) []string {
 		return c.put(id, nil, InstanceInfo{ID: id, SizeBytes: size})
 	}

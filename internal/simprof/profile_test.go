@@ -148,6 +148,72 @@ func TestTimeline(t *testing.T) {
 	}
 }
 
+// TestTimelineGaugeOverlay: non-fault gauge streams overlay as
+// value-mapped rows on the round axis — the last sample per bucket,
+// log-scaled intensity over the series' own range, so a converging
+// residual fades and a stagnating one stays bright.
+func TestTimelineGaugeOverlay(t *testing.T) {
+	p, err := Parse(bytes.NewReader(traceBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Timeline(&out, p, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The fixture's residual samples land at cumulative rounds 5 and 7
+	// (clamped to 6): buckets 2 and 3 of four. 0.25 is the series max
+	// (brightest), 0.0625 the min (dimmest nonzero).
+	found := false
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.Contains(line, "pcg.residual") {
+			continue
+		}
+		found = true
+		if !strings.Contains(line, "|  @.|") || !strings.Contains(line, "2 samples") {
+			t.Fatalf("pcg.residual overlay row wrong: %q", line)
+		}
+	}
+	if !found {
+		t.Fatalf("timeline missing the pcg.residual overlay:\n%s", got)
+	}
+
+	// A stagnating residual renders at full intensity in every sampled
+	// bucket — constant-value series must stay visible, not flatline away.
+	var buf bytes.Buffer
+	j := simtrace.NewJSONLSeries(&buf)
+	j.Begin("solve")
+	for r := 1; r <= 4; r++ {
+		j.Messages(simtrace.EngineCongest, 0, 1)
+		j.Gauge("pcg.residual", r, 0.5, r)
+		j.Gauge("recovery.attempt", r, float64(r%2*3-1), r) // -1 sentinel: linear path
+		j.Rounds(simtrace.EngineCongest, 1)
+	}
+	j.End("solve")
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Timeline(&out, p2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "pcg.residual") && !strings.Contains(line, "|@@@@|") {
+			t.Fatalf("stagnating residual did not render at full intensity: %q", line)
+		}
+		// Linear mapping (the -1 sentinel forbids log): 2 maps bright,
+		// -1 dim, alternating with the samples.
+		if strings.Contains(line, "recovery.attempt") && !strings.Contains(line, "|@.@.|") {
+			t.Fatalf("recovery.attempt overlay row wrong: %q", line)
+		}
+	}
+}
+
 // TestTimelineFaultMarkers: fault.<kind> gauge streams render as marker
 // rows, aligned to the series axis by stream position (a fault emitted
 // mid-round precedes that round's boundary record), and samples past the

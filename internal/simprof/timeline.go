@@ -3,6 +3,7 @@ package simprof
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -15,12 +16,20 @@ const timelineLevels = " .:*#@"
 // execution's rounds are squashed into at most width buckets, one row per
 // phase path shows where in the execution that phase's rounds were charged
 // (intensity is row-relative), and summary rows show per-bucket message
-// volume and the running max directed-edge load. When the trace carries
-// fault-injection telemetry (the engines' "fault.<kind>" gauge streams,
-// aligned to the series axis by stream position — see Record.AtRound), one
-// marker row per fault kind shows where in the execution the plan struck —
-// drops clustering under a convergecast phase explain that phase's
-// stretched bucket. Requires a trace recorded by a series-enabled sink.
+// volume and the running max directed-edge load. Convergence gauges
+// (pcg.residual, chebyshev.residual, spectral.rayleigh, … — every
+// non-fault gauge stream) overlay as value-mapped rows aligned to the same
+// round axis: each bucket shows the last sample that landed in it, with
+// intensity tracking the value's position in the series' own range
+// (log-scaled when all samples are positive, since residuals span
+// decades) — so a healthy solve fades left-to-right next to its phase
+// round bars, and a stagnating residual stays bright. When the trace
+// carries fault-injection telemetry (the engines' "fault.<kind>" gauge
+// streams, aligned to the series axis by stream position — see
+// Record.AtRound), one marker row per fault kind shows where in the
+// execution the plan struck — drops clustering under a convergecast phase
+// explain that phase's stretched bucket. Requires a trace recorded by a
+// series-enabled sink.
 func Timeline(w io.Writer, p *Profile, width int) error {
 	if len(p.Series) == 0 {
 		return fmt.Errorf("simprof: trace has no series records — record it with a series-enabled sink (e.g. experiments -series -trace)")
@@ -92,6 +101,33 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 		return rows[a].label < rows[b].label
 	})
 
+	// Convergence overlays: every non-fault gauge stream becomes one
+	// value-mapped row on the same round axis (ROADMAP: gauge series over
+	// the per-phase bars). A bucket keeps the last sample that landed in
+	// it — gauges report state ("residual after this iteration"), so the
+	// latest value is the bucket's truth, unlike the event counts above.
+	type gaugeRow struct {
+		label   string
+		values  []float64
+		present []bool
+		samples int
+	}
+	var gauges []gaugeRow
+	for _, g := range p.Gauges {
+		if strings.HasPrefix(g.Name, "fault.") {
+			continue
+		}
+		gr := gaugeRow{label: g.Name, values: make([]float64, cols), present: make([]bool, cols)}
+		for _, s := range g.Samples {
+			b := bucket(s.AtRound)
+			gr.values[b] = s.Value
+			gr.present[b] = true
+			gr.samples++
+		}
+		gauges = append(gauges, gr)
+	}
+	sort.SliceStable(gauges, func(a, b int) bool { return gauges[a].label < gauges[b].label })
+
 	// Fault markers: one row per injected fault kind, counting events per
 	// bucket from the engines' "fault.<kind>" gauge streams. Bucketing is
 	// by AtRound — the cumulative series round the sample interleaved
@@ -123,6 +159,11 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 			labelW = len(r.label)
 		}
 	}
+	for _, g := range gauges {
+		if len(g.label) > labelW {
+			labelW = len(g.label)
+		}
+	}
 	for _, r := range faults {
 		if len(r.label) > labelW {
 			labelW = len(r.label)
@@ -135,10 +176,57 @@ func Timeline(w io.Writer, p *Profile, width int) error {
 	}
 	fmt.Fprintf(w, "  %-*s |%s| %d total\n", labelW, "messages", heatline(msgs), totalMsgs)
 	fmt.Fprintf(w, "  %-*s |%s| %d peak\n", labelW, "max edge load", heatline(load), finalLoad)
+	for _, g := range gauges {
+		fmt.Fprintf(w, "  %-*s |%s| %d samples\n", labelW, g.label, gaugeline(g.values, g.present), g.samples)
+	}
 	for _, r := range faults {
 		fmt.Fprintf(w, "  %-*s |%s| %d events\n", labelW, r.label, heatline(r.cells), r.total)
 	}
 	return nil
+}
+
+// gaugeline maps per-bucket gauge values to intensity characters against
+// the series' own [min, max] range: the maximum renders as the brightest
+// level, the minimum as the dimmest nonzero one, and buckets without a
+// sample as spaces. When every sampled value is positive the mapping is
+// logarithmic — convergence residuals fall over decades, and a linear map
+// would flatline after the first halving — otherwise it is linear (e.g.
+// recovery.attempt's -1 "gave up" sentinel). A constant series renders at
+// full intensity throughout: visible stagnation is the overlay's point.
+func gaugeline(values []float64, present []bool) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	allPositive := true
+	for i, v := range values {
+		if !present[i] {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+		if v <= 0 {
+			allPositive = false
+		}
+	}
+	scale := func(v float64) float64 { return v }
+	if allPositive && hi > lo {
+		scale = math.Log
+	}
+	span := scale(hi) - scale(lo)
+	var b strings.Builder
+	for i, v := range values {
+		if !present[i] {
+			b.WriteByte(timelineLevels[0])
+			continue
+		}
+		t := 1.0
+		if span > 0 {
+			t = (scale(v) - scale(lo)) / span
+		}
+		idx := 1 + int(math.Round(t*float64(len(timelineLevels)-2)))
+		if idx > len(timelineLevels)-1 {
+			idx = len(timelineLevels) - 1
+		}
+		b.WriteByte(timelineLevels[idx])
+	}
+	return b.String()
 }
 
 // heatline maps per-bucket values to intensity characters against the
